@@ -1,0 +1,20 @@
+"""A1 bench: the Cluster* growth-factor ablation + generator variants."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import reproduce
+from repro.core.cluster_star import ClusterStarGenerator
+
+
+def test_a1_reproduce(benchmark):
+    reproduce(benchmark, "A1")
+
+
+@pytest.mark.parametrize("growth", [1, 2, 8])
+def test_cluster_star_growth_throughput(benchmark, growth):
+    generator = ClusterStarGenerator(
+        1 << 64, random.Random(1), growth=growth
+    )
+    benchmark(generator.next_id)

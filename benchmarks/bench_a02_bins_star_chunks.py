@@ -1,0 +1,17 @@
+"""A2 bench: the Bins* chunk-count ablation + exact-formula speed."""
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import bins_star_collision_probability
+from repro.core.bins_star import chunk_count
+
+
+def test_a2_reproduce(benchmark):
+    reproduce(benchmark, "A2")
+
+
+def test_bins_star_reduced_chunks_probability_speed(benchmark):
+    m = 1 << 16
+    c = chunk_count(m) - 4  # capacity 2^8 − 1 = 255
+    profile = DemandProfile.of(16, 128)
+    benchmark(bins_star_collision_probability, m, profile, c)

@@ -1,0 +1,22 @@
+"""E1 bench: Theorem 1 table + Cluster hot paths."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import cluster_collision_probability
+from repro.core.cluster import ClusterGenerator
+
+
+def test_e1_reproduce(benchmark):
+    reproduce(benchmark, "E1")
+
+
+def test_cluster_next_id_throughput(benchmark):
+    generator = ClusterGenerator(1 << 128, random.Random(1))
+    benchmark(generator.next_id)
+
+
+def test_cluster_exact_probability_speed(benchmark):
+    profile = DemandProfile.uniform(64, 1 << 20)
+    benchmark(cluster_collision_probability, 1 << 128, profile)

@@ -1,0 +1,22 @@
+"""E2 bench: Theorem 2 table + Bins(k) hot paths."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import bins_collision_probability
+from repro.core.bins import BinsGenerator
+
+
+def test_e2_reproduce(benchmark):
+    reproduce(benchmark, "E2")
+
+
+def test_bins_next_id_throughput(benchmark):
+    generator = BinsGenerator(1 << 64, 4096, random.Random(1))
+    benchmark(generator.next_id)
+
+
+def test_bins_exact_probability_speed(benchmark):
+    profile = DemandProfile.uniform(16, 4096)
+    benchmark(bins_collision_probability, 1 << 40, 256, profile)

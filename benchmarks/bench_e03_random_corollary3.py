@@ -1,0 +1,22 @@
+"""E3 bench: Corollary 3 table + Random hot paths."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import random_collision_probability
+from repro.core.random_gen import RandomGenerator
+
+
+def test_e3_reproduce(benchmark):
+    reproduce(benchmark, "E3")
+
+
+def test_random_next_id_throughput_sparse(benchmark):
+    generator = RandomGenerator(1 << 128, random.Random(1))
+    benchmark(generator.next_id)
+
+
+def test_random_exact_probability_speed_estimate_path(benchmark):
+    profile = DemandProfile.uniform(8, 1 << 20)
+    benchmark(random_collision_probability, 1 << 64, profile)

@@ -1,0 +1,19 @@
+"""E4 bench: the who-fails-first figure + p* machinery speed."""
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.optimal import p_star_lower_bound, p_star_upper_bound
+
+
+def test_e4_reproduce(benchmark):
+    reproduce(benchmark, "E4")
+
+
+def test_p_star_lower_bound_speed(benchmark):
+    profile = DemandProfile.of(1, 2, 4, 8, 16, 32, 64, 128)
+    benchmark(p_star_lower_bound, 1 << 20, profile)
+
+
+def test_p_star_upper_bound_speed(benchmark):
+    profile = DemandProfile.of(16, 1024)
+    benchmark(p_star_upper_bound, 1 << 20, profile)

@@ -1,0 +1,20 @@
+"""E5 bench: Theorem 6 optimality table + profile sampling speed."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import is_epsilon_good, sample_profile_d1
+
+
+def test_e5_reproduce(benchmark):
+    reproduce(benchmark, "E5")
+
+
+def test_profile_sampling_speed(benchmark):
+    rng = random.Random(5)
+    benchmark(sample_profile_d1, 64, 4096, rng)
+
+
+def test_epsilon_goodness_speed(benchmark):
+    profile = sample_profile_d1(64, 4096, random.Random(1))
+    benchmark(is_epsilon_good, profile, 0.25)

@@ -1,0 +1,25 @@
+"""E6 bench: the Lemma 7 adaptive-attack sweep + game-step latency."""
+
+from benchmarks.conftest import reproduce
+from repro.adversary.attacks import ClosestPairAttack
+from repro.core.cluster import ClusterGenerator
+from repro.simulation.game import Game
+
+
+def test_e6_reproduce(benchmark):
+    reproduce(benchmark, "E6")
+
+
+def test_closest_pair_game_speed(benchmark):
+    """One full adaptive game (n=16, d=512) per round."""
+
+    def play():
+        game = Game(
+            lambda m, rng: ClusterGenerator(m, rng),
+            1 << 20,
+            ClosestPairAttack(n=16, d=512),
+            seed=7,
+        )
+        return game.run()
+
+    benchmark(play)

@@ -1,0 +1,32 @@
+"""E7 bench: Theorem 8 attack suite + Cluster* hot paths."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.adversary.attacks import GreedyGapAttack
+from repro.core.cluster_star import ClusterStarGenerator
+from repro.simulation.game import Game
+
+
+def test_e7_reproduce(benchmark):
+    reproduce(benchmark, "E7")
+
+
+def test_cluster_star_next_id_throughput(benchmark):
+    generator = ClusterStarGenerator(1 << 64, random.Random(1))
+    benchmark(generator.next_id)
+
+
+def test_greedy_gap_game_speed(benchmark):
+    """One greedy-gap game against Cluster* (n=8, d=256) per round."""
+
+    def play():
+        game = Game(
+            lambda m, rng: ClusterStarGenerator(m, rng),
+            1 << 20,
+            GreedyGapAttack(n=8, d=256),
+            seed=3,
+        )
+        return game.run()
+
+    benchmark(play)

@@ -1,0 +1,24 @@
+"""E8 bench: Theorem 9 competitive grid + Bins* hot paths."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import bins_star_collision_probability
+from repro.core.bins_star import BinsStarGenerator
+
+
+def test_e8_reproduce(benchmark):
+    reproduce(benchmark, "E8")
+
+
+def test_bins_star_next_id_throughput(benchmark):
+    generator = BinsStarGenerator(
+        1 << 64, random.Random(1), fallback_random=True
+    )
+    benchmark(generator.next_id)
+
+
+def test_bins_star_exact_probability_speed(benchmark):
+    profile = DemandProfile.of(16, 1024, 64, 4096)
+    benchmark(bins_star_collision_probability, 1 << 32, profile)

@@ -1,0 +1,27 @@
+"""E9 bench: the Ω(log m) lower-bound table + Φ machinery speed."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.adversary.phi import PhiDistribution
+from repro.analysis.exact import cluster_collision_probability
+
+
+def test_e9_reproduce(benchmark):
+    reproduce(benchmark, "E9")
+
+
+def test_phi_construction_speed(benchmark):
+    benchmark(PhiDistribution, 1 << 20)
+
+
+def test_phi_exact_expectation_speed(benchmark):
+    phi = PhiDistribution(1 << 16)
+    m = 1 << 16
+
+    def expectation():
+        return phi.expectation(
+            lambda profile: cluster_collision_probability(m, profile)
+        )
+
+    benchmark(expectation)

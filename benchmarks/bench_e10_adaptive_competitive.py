@@ -1,0 +1,29 @@
+"""E10 bench: Theorem 11 follower-adversary table + follower game speed."""
+
+from benchmarks.conftest import reproduce
+from repro.adversary.profiles import DemandProfile
+from repro.adversary.semi_adaptive import DemandSequence, FollowerAdversary
+from repro.core.bins_star import BinsStarGenerator
+from repro.simulation.game import Game
+
+
+def test_e10_reproduce(benchmark):
+    reproduce(benchmark, "E10")
+
+
+def test_follower_game_speed(benchmark):
+    sequence = DemandSequence.from_profile(
+        DemandProfile.uniform(8, 64), order="round_robin"
+    )
+
+    def play():
+        game = Game(
+            lambda m, rng: BinsStarGenerator(m, rng),
+            1 << 14,
+            FollowerAdversary(DemandSequence(sequence.steps)),
+            seed=5,
+            stop_on_collision=False,
+        )
+        return game.run()
+
+    benchmark(play)

@@ -1,0 +1,47 @@
+"""E11 bench: end-to-end KV cluster corruption + store hot paths."""
+
+import random
+
+from benchmarks.conftest import reproduce
+from repro.kvstore.db import MiniRocks
+from repro.kvstore.options import Options
+
+
+def test_e11_reproduce(benchmark):
+    reproduce(benchmark, "E11")
+
+
+def _loaded_store():
+    db = MiniRocks(
+        Options(memtable_entries=64, block_entries=16, id_universe=1 << 64),
+        rng=random.Random(1),
+    )
+    for i in range(2000):
+        db.put(f"key{i:06d}".encode(), b"value" * 4)
+    db.flush()
+    return db
+
+
+def test_minirocks_get_latency(benchmark):
+    db = _loaded_store()
+    keys = [f"key{i:06d}".encode() for i in range(0, 2000, 37)]
+    index = iter(range(10**9))
+
+    def lookup():
+        return db.get(keys[next(index) % len(keys)])
+
+    benchmark(lookup)
+
+
+def test_minirocks_put_latency(benchmark):
+    db = MiniRocks(
+        Options(memtable_entries=256, id_universe=1 << 64),
+        rng=random.Random(2),
+    )
+    index = iter(range(10**9))
+
+    def write():
+        i = next(index)
+        db.put(f"bench{i:08d}".encode(), b"v" * 16)
+
+    benchmark(write)

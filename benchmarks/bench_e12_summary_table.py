@@ -1,0 +1,21 @@
+"""E12 bench: the Table-1-style summary + cross-algorithm throughput."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import reproduce
+from repro.core.registry import make_generator
+
+
+def test_e12_reproduce(benchmark):
+    reproduce(benchmark, "E12")
+
+
+@pytest.mark.parametrize(
+    "spec", ["random", "cluster", "bins:4096", "cluster*", "bins*"]
+)
+def test_generator_throughput(benchmark, spec):
+    """next_id latency of every algorithm on a 64-bit universe."""
+    generator = make_generator(spec, 1 << 64, random.Random(1))
+    benchmark(generator.next_id)

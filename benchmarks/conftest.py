@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eNN_*.py`` file owns one experiment (one table/figure of
+the reproduction; see DESIGN.md §4) and contains:
+
+* ``test_eNN_reproduce`` — runs the experiment once under
+  ``benchmark.pedantic`` (timing the full regeneration), prints the
+  markdown table, and asserts every shape check passed;
+* micro-benchmarks of the hot paths that experiment leans on.
+
+Run ``pytest benchmarks/ --benchmark-only`` for the timing tables; add
+``-s`` to see the experiment tables inline. The full (non-quick)
+experiment suite is what ``uuidp report`` runs; benchmarks default to
+quick mode so the harness completes in minutes — set
+``REPRO_BENCH_FULL=1`` for the full sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+BENCH_SEED = 20230414
+
+
+def bench_config() -> ExperimentConfig:
+    """Quick by default; REPRO_BENCH_FULL=1 switches to the full sweep."""
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    return ExperimentConfig(quick=not full, seed=BENCH_SEED)
+
+
+def reproduce(benchmark, experiment_id: str):
+    """Run one experiment under the benchmark timer and verify it."""
+    config = bench_config()
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_markdown())
+    failed = [check for check in result.checks if not check.passed]
+    assert not failed, f"{experiment_id} shape checks failed: " + "; ".join(
+        str(check) for check in failed
+    )
+    return result

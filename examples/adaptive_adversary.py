@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Attacking ID generators that leak their future (Lemma 7 / Theorem 8).
+
+Cluster's weakness: after seeing one ID from each instance, an adversary
+knows every instance's entire future sequence. The closest-pair attack
+exploits this to force collisions a factor ~n more often than any
+oblivious workload could. Cluster* plugs the leak with exponentially
+growing, freshly placed runs.
+
+Run:  python examples/adaptive_adversary.py
+"""
+
+from repro import ClusterGenerator, ClusterStarGenerator
+from repro.adversary import ClosestPairAttack, GreedyGapAttack
+from repro.analysis import (
+    corollary5_cluster_worst_case,
+    lemma7_adaptive_cluster,
+    theorem8_cluster_star,
+)
+from repro.simulation import estimate_collision_probability
+
+M = 1 << 20
+D = 1024
+TRIALS = 1500
+
+
+def attack(generator_factory, attack_cls, n: int) -> float:
+    estimate = estimate_collision_probability(
+        generator_factory,
+        M,
+        lambda rng: attack_cls(n=n, d=D),
+        trials=TRIALS,
+        seed=1234 + n,
+    )
+    return estimate.probability
+
+
+def main() -> None:
+    print(f"m = 2^20, total budget d = {D}, {TRIALS} games per cell\n")
+    header = (
+        f"{'n':>4} {'oblivious Θ(nd/m)':>18} {'Cluster attacked':>17} "
+        f"{'Lemma7 Ω(n²d/m)':>16} {'Cluster* attacked':>18} "
+        f"{'Thm8 O(nd/m·log)':>17}"
+    )
+    print(header)
+    for n in (4, 8, 16, 32):
+        oblivious = corollary5_cluster_worst_case(M, n, D)
+        attacked = attack(
+            lambda m, rng: ClusterGenerator(m, rng), ClosestPairAttack, n
+        )
+        star = max(
+            attack(
+                lambda m, rng: ClusterStarGenerator(m, rng),
+                ClosestPairAttack,
+                n,
+            ),
+            attack(
+                lambda m, rng: ClusterStarGenerator(m, rng),
+                GreedyGapAttack,
+                n,
+            ),
+        )
+        print(
+            f"{n:>4} {oblivious:>18.4f} {attacked:>17.4f} "
+            f"{lemma7_adaptive_cluster(M, n, D):>16.4f} {star:>18.4f} "
+            f"{theorem8_cluster_star(M, n, D):>17.4f}"
+        )
+    print(
+        "\nCluster's attacked column tracks the n² Lemma 7 curve; "
+        "Cluster* stays at the (nd/m)·log(1+d/n) Theorem 8 curve."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Capacity planning: how many IDs can your fleet safely mint?
+
+Uses the exact collision-probability machinery (big ints — 128-bit
+universes are no problem) to answer the deployment question the paper's
+introduction poses: with n uncoordinated instances and a target
+collision budget, how many objects can each algorithm handle?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from fractions import Fraction
+
+from repro import DemandProfile
+from repro.analysis import (
+    cluster_collision_probability,
+    random_collision_probability,
+)
+
+
+def max_safe_demand(probability_fn, m: int, n: int, budget: float) -> int:
+    """Largest per-instance demand h keeping collision prob <= budget.
+
+    Exponential search + bisection over the exact formula.
+    """
+    def p(h: int) -> float:
+        return float(probability_fn(m, DemandProfile.uniform(n, h)))
+
+    high = 1
+    while p(high) <= budget:
+        high *= 2
+        if high > m // n:
+            return m // n
+    low = high // 2
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if p(mid) <= budget:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def main() -> None:
+    n = 1000  # a thousand uncoordinated instances
+    budget = 1e-9  # one-in-a-billion collision budget
+    print(
+        f"Fleet: n = {n} instances, collision budget {budget:.0e}, "
+        "uniform demand\n"
+    )
+    print(
+        f"{'ID bits':>8} {'Random: IDs/instance':>22} "
+        f"{'Cluster: IDs/instance':>22} {'gain':>12}"
+    )
+    for bits in (64, 96, 128):
+        m = 1 << bits
+        safe_random = max_safe_demand(
+            random_collision_probability, m, n, budget
+        )
+        safe_cluster = max_safe_demand(
+            cluster_collision_probability, m, n, budget
+        )
+        gain = safe_cluster / max(1, safe_random)
+        print(
+            f"{bits:>8} {safe_random:>22.3e} {safe_cluster:>22.3e} "
+            f"{gain:>11.1e}x"
+        )
+    print(
+        "\nReading: with 128-bit IDs and a 10^-9 budget, Random caps the "
+        "whole fleet near sqrt(m·budget) ≈ 2^49 total objects, while "
+        "Cluster handles ~budget·m/n per the Theorem 1 bound — exabyte "
+        "scale is fine. This is why RocksDB switched (PRs #8990, #9126)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""When demand is skewed, Cluster wastes probability — Bins* doesn't.
+
+The §3.4 example: one instance mints 1024 IDs, another mints 16. An
+algorithm tuned to this profile collides with probability ~16/m, but
+Cluster pays ~1040/m — a 65× overshoot. Bins* keeps every profile
+within an O(log m) factor of optimal (Theorem 9), which is the best any
+single algorithm can do (Theorem 10).
+
+Run:  python examples/skewed_demand.py
+"""
+
+from repro import DemandProfile, competitive_ratio_upper
+from repro.analysis import (
+    bins_star_collision_probability,
+    cluster_collision_probability,
+    random_collision_probability,
+    skew_aware_pair_collision,
+)
+
+M = 1 << 16
+
+
+def main() -> None:
+    print(f"m = 2^16; two instances with demands (2^i, 2^j)\n")
+    print(
+        f"{'profile':>14} {'p* (tuned)':>11} {'cluster':>9} "
+        f"{'random':>9} {'bins*':>9} | {'ratio cl':>8} {'ratio b*':>8}"
+    )
+    for i, j in [(1, 4), (2, 8), (4, 10), (6, 11), (1, 11)]:
+        low, high = 1 << i, 1 << j
+        profile = DemandProfile.of(low, high)
+        tuned = float(skew_aware_pair_collision(M, low, high))
+        cluster = float(cluster_collision_probability(M, profile))
+        random_p = float(random_collision_probability(M, profile))
+        bins_star = float(bins_star_collision_probability(M, profile))
+        ratio_cluster = competitive_ratio_upper(
+            M, profile, cluster_collision_probability(M, profile)
+        )
+        ratio_bins_star = competitive_ratio_upper(
+            M, profile, bins_star_collision_probability(M, profile)
+        )
+        print(
+            f"({low:>5},{high:>6}) {tuned:>11.2e} {cluster:>9.2e} "
+            f"{random_p:>9.2e} {bins_star:>9.2e} | "
+            f"{ratio_cluster:>8.1f} {ratio_bins_star:>8.1f}"
+        )
+    print(
+        "\nCluster's competitive ratio explodes with the skew 2^j/2^i; "
+        f"Bins*'s stays bounded by O(log m) = O({M.bit_length() - 1})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""repro — reproduction of "Optimal Uncoordinated Unique IDs" (PODS 2023).
+
+Public API highlights:
+
+* algorithms: :class:`RandomGenerator`, :class:`ClusterGenerator`,
+  :class:`BinsGenerator`, :class:`ClusterStarGenerator`,
+  :class:`BinsStarGenerator`, :class:`SkewAwareGenerator`,
+  :func:`make_generator`;
+* the game: :class:`DemandProfile`, :class:`Game`,
+  :class:`ObliviousAdversary`, :class:`ClosestPairAttack`,
+  :func:`estimate_collision_probability`;
+* exact analysis: :func:`exact_collision_probability`,
+  :func:`p_star_lower_bound`, :func:`p_star_upper_bound`,
+  :func:`competitive_ratio_upper`;
+* the KV-store substrate: :class:`repro.kvstore.MiniRocks`,
+  :class:`repro.distributed.ClusterSimulator` (imported lazily; see
+  those subpackages).
+"""
+
+from repro.adversary import (
+    ClosestPairAttack,
+    DemandProfile,
+    GreedyGapAttack,
+    ObliviousAdversary,
+    PhiDistribution,
+    RunSaturationAttack,
+)
+from repro.analysis import (
+    competitive_ratio_upper,
+    exact_collision_probability,
+    optimal_uniform_collision,
+    p_star_lower_bound,
+    p_star_upper_bound,
+)
+from repro.core import (
+    BinsGenerator,
+    BinsStarGenerator,
+    ClusterGenerator,
+    ClusterStarGenerator,
+    IDGenerator,
+    RandomGenerator,
+    SkewAwareGenerator,
+    available_algorithms,
+    make_generator,
+)
+from repro.errors import (
+    ConfigurationError,
+    GameError,
+    IDSpaceExhaustedError,
+    ProfileError,
+    ReproError,
+)
+from repro.simulation import (
+    Estimate,
+    Game,
+    GameResult,
+    estimate_collision_probability,
+    estimate_profile_collision,
+    play_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "IDGenerator",
+    "RandomGenerator",
+    "ClusterGenerator",
+    "BinsGenerator",
+    "ClusterStarGenerator",
+    "BinsStarGenerator",
+    "SkewAwareGenerator",
+    "make_generator",
+    "available_algorithms",
+    # game
+    "DemandProfile",
+    "Game",
+    "GameResult",
+    "play_profile",
+    "ObliviousAdversary",
+    "ClosestPairAttack",
+    "GreedyGapAttack",
+    "RunSaturationAttack",
+    "PhiDistribution",
+    "Estimate",
+    "estimate_collision_probability",
+    "estimate_profile_collision",
+    # analysis
+    "exact_collision_probability",
+    "optimal_uniform_collision",
+    "p_star_lower_bound",
+    "p_star_upper_bound",
+    "competitive_ratio_upper",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "GameError",
+    "ProfileError",
+    "IDSpaceExhaustedError",
+]

@@ -1,0 +1,54 @@
+"""Support classes for adaptive adversaries (§2, §6).
+
+An adaptive adversary sees each produced ID and may steer future
+requests accordingly. This module provides:
+
+* :class:`AdaptiveAdversary` — a small base class with the common
+  two-phase structure (probe every instance once, then exploit);
+* :func:`circular_gap` — forward distance on the cycle ``Z_m``, the
+  geometric primitive every Cluster-style attack needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.adversary.base import NEW_INSTANCE, Adversary, GameView
+from repro.errors import GameError
+
+
+def circular_gap(from_id: int, to_id: int, m: int) -> int:
+    """Forward (clockwise) distance from ``from_id`` to ``to_id`` on Z_m.
+
+    ``circular_gap(x, x, m) == 0``; the result is in ``[0, m)``.
+    """
+    return (to_id - from_id) % m
+
+
+class AdaptiveAdversary(Adversary, abc.ABC):
+    """Probe-then-exploit template shared by the concrete attacks.
+
+    Phase 1 activates ``n`` instances, requesting exactly one ID from
+    each. Phase 2 (:meth:`exploit`) is attack-specific and runs until
+    the total budget ``d`` is spent or the subclass stops early.
+    """
+
+    def __init__(self, n: int, d: int):
+        if n < 2:
+            raise GameError(f"adaptive attacks need n >= 2, got {n}")
+        if d < n:
+            raise GameError(f"budget d={d} cannot cover n={n} probes")
+        self.n = n
+        self.d = d
+
+    def next_request(self, view: GameView) -> Optional[int]:
+        if view.steps >= self.d:
+            return None
+        if view.num_instances < self.n:
+            return NEW_INSTANCE
+        return self.exploit(view)
+
+    @abc.abstractmethod
+    def exploit(self, view: GameView) -> Optional[int]:
+        """Phase-2 decision: which instance to press next (or stop)."""

@@ -1,0 +1,181 @@
+"""Adversary protocol and the oblivious adversary (§2).
+
+The game: at each step the adversary either *activates* a new instance
+(requesting its first ID), requests another ID from an existing
+instance, or stops. An **oblivious** adversary commits to the final
+demand profile before the game; an **adaptive** one sees every ID as it
+is produced and decides on the fly.
+
+The engine (:mod:`repro.simulation.game`) exposes the game state to the
+adversary through a read-only :class:`GameView`; adaptive adversaries
+base decisions on it, oblivious ones ignore it.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adversary.profiles import DemandProfile
+from repro.errors import GameError
+
+
+class GameView:
+    """Read-only snapshot of a running game, as visible to the adversary.
+
+    The adversary legitimately sees everything the instances have output
+    (the model grants adaptive adversaries full observation); it does
+    *not* see generator internals.
+    """
+
+    def __init__(self, m: int):
+        self.m = m
+        self._ids_by_instance: List[List[int]] = []
+        self._events: List[Tuple[int, int]] = []  # (instance, id) in order
+        self._collided = False
+        self._collision_step: Optional[int] = None
+
+    # -- engine-side mutation (package-internal) -------------------------
+
+    def _record(self, instance: int, value: int, collided_now: bool) -> None:
+        while instance >= len(self._ids_by_instance):
+            self._ids_by_instance.append([])
+        self._ids_by_instance[instance].append(value)
+        self._events.append((instance, value))
+        if collided_now and not self._collided:
+            self._collided = True
+            self._collision_step = len(self._events)
+
+    # -- adversary-side observation ---------------------------------------
+
+    @property
+    def num_instances(self) -> int:
+        """Number of instances activated so far."""
+        return len(self._ids_by_instance)
+
+    @property
+    def steps(self) -> int:
+        """Total IDs produced so far."""
+        return len(self._events)
+
+    @property
+    def collided(self) -> bool:
+        """Has a cross-instance collision occurred?"""
+        return self._collided
+
+    @property
+    def collision_step(self) -> Optional[int]:
+        """1-based step index of the first collision, if any."""
+        return self._collision_step
+
+    def ids_of(self, instance: int) -> Sequence[int]:
+        """All IDs produced by ``instance`` so far, in order."""
+        return tuple(self._ids_by_instance[instance])
+
+    def last_id_of(self, instance: int) -> int:
+        """The most recent ID produced by ``instance``."""
+        ids = self._ids_by_instance[instance]
+        if not ids:
+            raise GameError(f"instance {instance} has produced no IDs")
+        return ids[-1]
+
+    def counts(self) -> Tuple[int, ...]:
+        """Current per-instance request counts (the partial profile)."""
+        return tuple(len(ids) for ids in self._ids_by_instance)
+
+    def current_profile(self) -> DemandProfile:
+        """The partial demand profile accumulated so far."""
+        return DemandProfile(self.counts())
+
+    def events(self) -> Sequence[Tuple[int, int]]:
+        """The full ``(instance, id)`` transcript."""
+        return tuple(self._events)
+
+    def events_since(self, index: int) -> Sequence[Tuple[int, int]]:
+        """Transcript suffix from ``index`` on — O(new events), for
+        adversaries that maintain incremental state."""
+        return self._events[index:]
+
+
+#: Sentinel request meaning "activate a new instance".
+NEW_INSTANCE = -1
+
+
+class Adversary(abc.ABC):
+    """Decides, step by step, which instance is asked for the next ID."""
+
+    def begin(self, view: GameView) -> None:
+        """Hook called once before the first request."""
+
+    @abc.abstractmethod
+    def next_request(self, view: GameView) -> Optional[int]:
+        """Return the instance to probe next.
+
+        * an existing 0-based instance index,
+        * :data:`NEW_INSTANCE` to activate a fresh instance, or
+        * ``None`` to stop the game.
+        """
+
+
+class ObliviousAdversary(Adversary):
+    """Replays a fixed demand profile, ignoring all observed IDs.
+
+    The request *interleaving* is irrelevant to the collision probability
+    for an oblivious adversary (instances are independent), but it is
+    configurable to exercise the engine: ``"sequential"`` drains each
+    instance in turn, ``"round_robin"`` cycles, ``"random"`` shuffles the
+    request order (seeded).
+    """
+
+    def __init__(
+        self,
+        profile: DemandProfile,
+        order: str = "sequential",
+        rng: Optional[random.Random] = None,
+    ):
+        if order not in ("sequential", "round_robin", "random"):
+            raise GameError(f"unknown interleaving order {order!r}")
+        self.profile = profile
+        self._schedule = self._build_schedule(profile, order, rng)
+        self._cursor = 0
+        # Logical instance (index into the profile) -> engine instance.
+        # Needed because with a shuffled schedule logical instance 3 may
+        # be activated before logical instance 1.
+        self._engine_index: Dict[int, int] = {}
+
+    @staticmethod
+    def _build_schedule(
+        profile: DemandProfile, order: str, rng: Optional[random.Random]
+    ) -> List[int]:
+        if order == "sequential":
+            schedule = [
+                i for i, d in enumerate(profile.demands) for _ in range(d)
+            ]
+        elif order == "round_robin":
+            schedule = []
+            pending: Dict[int, int] = dict(enumerate(profile.demands))
+            while pending:
+                for i in sorted(pending):
+                    schedule.append(i)
+                    pending[i] -= 1
+                    if pending[i] == 0:
+                        del pending[i]
+        else:  # random
+            schedule = [
+                i for i, d in enumerate(profile.demands) for _ in range(d)
+            ]
+            (rng or random.Random()).shuffle(schedule)
+        return schedule
+
+    def next_request(self, view: GameView) -> Optional[int]:
+        if self._cursor >= len(self._schedule):
+            return None
+        logical = self._schedule[self._cursor]
+        self._cursor += 1
+        if logical not in self._engine_index:
+            # First request to this logical instance: the engine will
+            # activate it as instance number `view.num_instances`.
+            self._engine_index[logical] = view.num_instances
+            return NEW_INSTANCE
+        return self._engine_index[logical]

@@ -1,0 +1,93 @@
+"""The hard input distribution ``Φ`` of the Ω(log m) lower bound (§8).
+
+Equation (7) of the paper: with ``k = ⌊log₂(m)/2⌋``,
+
+    Pr[D = (2^i, 2^j)] = 2^(−max(i,j)) / W      for 0 ≤ i, j ≤ k,
+
+where ``W = Σ 2^(−max(i,j)) ≤ 8`` normalizes. Lemma 25 shows **every**
+algorithm satisfies ``E_Φ[p_A(D)] = Ω(log²m / m)`` while
+``E_Φ[p*(D)] = O(log m / m)``, so every algorithm's competitive ratio on
+``[√m]²`` is ``Ω(log m)`` — the bound ``Bins*`` meets.
+
+This module provides exact iteration over the support (weights as exact
+fractions via big ints) and seeded sampling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Tuple
+
+from repro.adversary.profiles import DemandProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WeightedProfile:
+    """A support point of Φ with its exact probability."""
+
+    profile: DemandProfile
+    weight: Fraction
+    i: int
+    j: int
+
+
+class PhiDistribution:
+    """The distribution Φ over two-instance power-of-two profiles."""
+
+    def __init__(self, m: int):
+        if m < 4:
+            raise ConfigurationError(f"phi needs m >= 4, got {m}")
+        self.m = m
+        # k = floor(log2(m) / 2)  <=>  largest k with 2^(2k) <= m.
+        self.k = (m.bit_length() - 1) // 2
+        raw: List[Tuple[int, int, Fraction]] = []
+        for i in range(self.k + 1):
+            for j in range(self.k + 1):
+                raw.append((i, j, Fraction(1, 1 << max(i, j))))
+        total = sum(w for _, _, w in raw)
+        self._support = [
+            WeightedProfile(
+                profile=DemandProfile((1 << i, 1 << j)),
+                weight=w / total,
+                i=i,
+                j=j,
+            )
+            for i, j, w in raw
+        ]
+
+    @property
+    def normalizer(self) -> Fraction:
+        """The exact W = Σ 2^(−max(i,j)) before normalization."""
+        return sum(
+            Fraction(1, 1 << max(p.i, p.j)) for p in self._support
+        )
+
+    def support(self) -> Iterator[WeightedProfile]:
+        """Iterate over all (profile, exact weight) pairs."""
+        return iter(self._support)
+
+    def sample(self, rng: random.Random) -> DemandProfile:
+        """Draw one profile from Φ."""
+        target = rng.random()
+        cumulative = 0.0
+        for point in self._support:
+            cumulative += float(point.weight)
+            if target < cumulative:
+                return point.profile
+        return self._support[-1].profile
+
+    def expectation(self, value_of_profile) -> float:
+        """``E_Φ[f(D)]`` computed exactly over the support.
+
+        ``value_of_profile`` maps a :class:`DemandProfile` to a float
+        (e.g. an exact collision probability).
+        """
+        return float(
+            sum(
+                point.weight * Fraction(value_of_profile(point.profile))
+                for point in self._support
+            )
+        )

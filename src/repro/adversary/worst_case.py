@@ -1,0 +1,112 @@
+"""Search for the worst oblivious demand profile of an algorithm.
+
+Corollary 5 pins the worst case of ``Cluster`` and ``Random`` over
+``D1(n, d)`` analytically; for other algorithms (or to sanity-check the
+analysis), this module finds a worst profile *empirically* using the
+exact probability formulas:
+
+1. evaluate the canonical candidate shapes (uniform, maximally skewed,
+   geometric, two-heavy);
+2. hill-climb from the best candidate by moving one unit of demand
+   between instances while the exact probability improves.
+
+The search is exact-evaluation-driven, so the returned profile carries
+a certificate (its exact probability); it is a *lower bound* on the
+true worst case, which suffices for the "who is worse where" questions
+the experiments ask.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, List, Tuple
+
+from repro.adversary.profiles import DemandProfile
+from repro.errors import ConfigurationError
+from repro.workloads.demand import max_skew_profile
+
+ProbabilityFn = Callable[[DemandProfile], Fraction]
+
+
+def candidate_profiles(n: int, d: int) -> List[DemandProfile]:
+    """The canonical extremal shapes in ``D1(n, d)``."""
+    if not 2 <= n <= d:
+        raise ConfigurationError(f"need 2 <= n <= d, got n={n}, d={d}")
+    candidates = [max_skew_profile(n, d)]
+    base, remainder = divmod(d, n)
+    uniform = tuple(
+        base + (1 if index < remainder else 0) for index in range(n)
+    )
+    candidates.append(DemandProfile(uniform))
+    # Two heavy instances, the rest minimal.
+    if n >= 2 and d - (n - 2) >= 2:
+        half = (d - (n - 2)) // 2
+        rest = d - (n - 2) - half
+        candidates.append(
+            DemandProfile((half, rest) + (1,) * (n - 2))
+        )
+    # Geometric decay, rescaled to total exactly d.
+    weights = [1 << (n - 1 - index) for index in range(n)]
+    total_weight = sum(weights)
+    geometric = [max(1, d * w // total_weight) for w in weights]
+    deficit = d - sum(geometric)
+    geometric[0] += deficit
+    if geometric[0] >= 1:
+        candidates.append(DemandProfile(tuple(geometric)))
+    return candidates
+
+
+def _neighbors(profile: DemandProfile) -> List[DemandProfile]:
+    """Profiles reachable by moving one unit between two instances."""
+    demands = list(profile.demands)
+    moves = []
+    n = len(demands)
+    for source in range(n):
+        if demands[source] <= 1:
+            continue
+        for target in range(n):
+            if source == target:
+                continue
+            moved = list(demands)
+            moved[source] -= 1
+            moved[target] += 1
+            moves.append(DemandProfile(tuple(sorted(moved, reverse=True))))
+    # Deduplicate (sorting above canonicalizes).
+    unique = []
+    seen = set()
+    for candidate in moves:
+        if candidate.demands not in seen:
+            seen.add(candidate.demands)
+            unique.append(candidate)
+    return unique
+
+
+def find_worst_profile(
+    probability: ProbabilityFn,
+    n: int,
+    d: int,
+    max_steps: int = 50,
+) -> Tuple[DemandProfile, Fraction]:
+    """Best-effort worst profile in ``D1(n, d)`` for ``probability``.
+
+    Returns ``(profile, exact probability)``. Deterministic: greedy
+    ascent from the best canonical candidate, first-improvement order.
+    """
+    best_profile = None
+    best_value = Fraction(-1)
+    for candidate in candidate_profiles(n, d):
+        value = probability(candidate)
+        if value > best_value:
+            best_profile, best_value = candidate, value
+    assert best_profile is not None
+    for _ in range(max_steps):
+        improved = False
+        for neighbor in _neighbors(best_profile):
+            value = probability(neighbor)
+            if value > best_value:
+                best_profile, best_value = neighbor, value
+                improved = True
+                break
+        if not improved:
+            break
+    return best_profile, best_value

@@ -1,0 +1,97 @@
+"""Exact and asymptotic analysis of UUIDP algorithms (§3–§9)."""
+
+from repro.analysis.adaptive import (
+    adaptivity_gain_exact,
+    closest_pair_attack_cluster_exact,
+)
+from repro.analysis.bounds import (
+    corollary3_random,
+    corollary5_cluster_worst_case,
+    corollary5_random_worst_case,
+    lemma7_adaptive_cluster,
+    lemma20_rank_lower_bound,
+    lemma22_bins_star_upper,
+    lemma24_pair_optimum,
+    log_log_slope,
+    theorem1_cluster,
+    theorem2_bins,
+    theorem6_lower_bound,
+    theorem8_cluster_star,
+    theorem9_competitive_target,
+    theorem11_adaptive_factor,
+)
+from repro.analysis.combinatorics import (
+    binomial,
+    birthday_collision,
+    birthday_no_collision,
+    circular_disjoint_arcs_probability,
+    disjoint_subsets_probability,
+    falling_factorial,
+)
+from repro.analysis.competitive import (
+    adaptive_competitive_ratio,
+    competitive_ratio_lower,
+    competitive_ratio_upper,
+    worst_ratio_over,
+)
+from repro.analysis.exact import (
+    bins_collision_probability,
+    bins_star_collision_probability,
+    cluster_collision_probability,
+    cluster_pairwise_collision,
+    exact_collision_probability,
+    random_collision_probability,
+    skew_aware_pair_collision,
+)
+from repro.analysis.optimal import (
+    optimal_uniform_collision,
+    p_star_lower_bound,
+    p_star_pair,
+    p_star_upper_bound,
+)
+
+__all__ = [
+    # adaptive
+    "closest_pair_attack_cluster_exact",
+    "adaptivity_gain_exact",
+    # exact
+    "exact_collision_probability",
+    "random_collision_probability",
+    "cluster_collision_probability",
+    "cluster_pairwise_collision",
+    "bins_collision_probability",
+    "bins_star_collision_probability",
+    "skew_aware_pair_collision",
+    # combinatorics
+    "falling_factorial",
+    "binomial",
+    "birthday_collision",
+    "birthday_no_collision",
+    "disjoint_subsets_probability",
+    "circular_disjoint_arcs_probability",
+    # optimal
+    "optimal_uniform_collision",
+    "p_star_lower_bound",
+    "p_star_upper_bound",
+    "p_star_pair",
+    # competitive
+    "competitive_ratio_upper",
+    "competitive_ratio_lower",
+    "worst_ratio_over",
+    "adaptive_competitive_ratio",
+    # bounds
+    "theorem1_cluster",
+    "theorem2_bins",
+    "corollary3_random",
+    "corollary5_cluster_worst_case",
+    "corollary5_random_worst_case",
+    "theorem6_lower_bound",
+    "lemma7_adaptive_cluster",
+    "theorem8_cluster_star",
+    "lemma20_rank_lower_bound",
+    "lemma22_bins_star_upper",
+    "lemma24_pair_optimum",
+    "theorem9_competitive_target",
+    "theorem11_adaptive_factor",
+    "log_log_slope",
+]

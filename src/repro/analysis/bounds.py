@@ -1,0 +1,129 @@
+"""The paper's Θ/O/Ω expressions as callable formulas (§3).
+
+These are *shape targets*: each returns the inner expression of the
+paper's bound, always clamped by ``min(1, ·)``. Experiments compare
+measured (or exact) probabilities against them and check that the ratio
+stays inside a constant band across sweeps — that is what a Θ-statement
+predicts. Absolute constants are not claimed by the paper and not
+asserted here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.combinatorics import log2_or_one
+from repro.errors import ConfigurationError
+
+
+def _clamp(x: float) -> float:
+    return min(1.0, x)
+
+
+def theorem1_cluster(m: int, profile: DemandProfile) -> float:
+    """Thm 1: ``p_Cluster(D) = Θ(min(1, n‖D‖₁/m))``."""
+    return _clamp(profile.n * profile.total / m)
+
+
+def theorem2_bins(m: int, k: int, profile: DemandProfile) -> float:
+    """Thm 2: ``Θ(min(1, (‖D‖₁²−‖D‖₂²)/(km) + n‖D‖₁/m + n²k/m))``."""
+    if not 1 <= k <= m:
+        raise ConfigurationError(f"k must be in [1, m], got {k}")
+    l1 = profile.total
+    l2sq = profile.l2_squared
+    n = profile.n
+    return _clamp(
+        (l1 * l1 - l2sq) / (k * m) + n * l1 / m + n * n * k / m
+    )
+
+
+def corollary3_random(m: int, profile: DemandProfile) -> float:
+    """Cor 3: ``p_Random(D) = Θ(min(1, (‖D‖₁²−‖D‖₂²)/m))``."""
+    l1 = profile.total
+    return _clamp((l1 * l1 - profile.l2_squared) / m)
+
+
+def corollary5_cluster_worst_case(m: int, n: int, d: int) -> float:
+    """Cor 5: worst case of Cluster over ``D1(n,d)``: ``Θ(min(1, nd/m))``."""
+    return _clamp(n * d / m)
+
+
+def corollary5_random_worst_case(m: int, n: int, d: int) -> float:
+    """Cor 5: worst case of Random over ``D1(n,d)``: ``Θ(min(1, d²/m))``."""
+    return _clamp(d * d / m)
+
+
+def theorem6_lower_bound(m: int, n: int, d: int) -> float:
+    """Thm 6: ``p*(D) = Ω(min(1, nd/m))`` for almost all of ``D1(n,d)``."""
+    return _clamp(n * d / m)
+
+
+def lemma7_adaptive_cluster(m: int, n: int, d: int) -> float:
+    """Lemma 7: adaptive adversary forces ``p_Cluster(Z) = Ω(min(1, n²d/m))``."""
+    return _clamp(n * n * d / m)
+
+
+def theorem8_cluster_star(m: int, n: int, d: int) -> float:
+    """Thm 8: ``p_Cluster*(Z) = O(min(1, (nd/m)·log(1 + d/n)))``."""
+    if n < 1 or d < n:
+        raise ConfigurationError(f"need d >= n >= 1, got n={n}, d={d}")
+    return _clamp((n * d / m) * math.log2(1.0 + d / n))
+
+
+def lemma20_rank_lower_bound(m: int, rank_distribution) -> float:
+    """Lemma 20: ``p*(D⁻) = Ω(min(1, (1/m) Σ C(s_i,2)·2^i))``."""
+    total = sum(
+        math.comb(s, 2) * (1 << (index + 1))
+        for index, s in enumerate(rank_distribution)
+    )
+    return _clamp(total / m)
+
+
+def lemma22_bins_star_upper(m: int, rank_distribution) -> float:
+    """Lemma 22: ``p_Bins*(D⁻) = O((log m / m) Σ C(s_i,2)·2^i)``."""
+    total = sum(
+        math.comb(s, 2) * (1 << (index + 1))
+        for index, s in enumerate(rank_distribution)
+    )
+    return _clamp(log2_or_one(m) * total / m)
+
+
+def lemma24_pair_optimum(m: int, i: int, j: int) -> float:
+    """Lemma 24: ``p*((i, j)) = Θ(i/m)`` for ``1 ≤ i ≤ j ≤ m/2``."""
+    if not 1 <= i <= j:
+        raise ConfigurationError(f"need 1 <= i <= j, got {i}, {j}")
+    return _clamp(i / m)
+
+
+def theorem9_competitive_target(m: int) -> float:
+    """Thm 9/10: the optimal competitive ratio scale, ``log m``."""
+    return log2_or_one(m)
+
+
+def theorem11_adaptive_factor() -> float:
+    """Thm 11: adaptivity costs Bins*/Bins(k) at most a factor 4."""
+    return 4.0
+
+
+def log_log_slope(xs, ys) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    Experiments use this to verify scaling exponents (e.g. measured
+    collision probability growing linearly in ``d`` ⇒ slope ≈ 1).
+    Points with non-positive coordinates are skipped.
+    """
+    points = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(points) < 2:
+        raise ConfigurationError("need >= 2 positive points for a slope")
+    mean_x = sum(p[0] for p in points) / len(points)
+    mean_y = sum(p[1] for p in points) / len(points)
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    variance = sum((x - mean_x) ** 2 for x, _ in points)
+    if variance == 0:
+        raise ConfigurationError("all x values identical; slope undefined")
+    return covariance / variance

@@ -1,0 +1,103 @@
+"""Competitive-ratio computation (§2, §8, §9).
+
+The competitive ratio of an algorithm ``A`` on a non-trivial profile
+``D`` is ``p_A(D) / p*(D)``. Since ``p*`` is only available as a
+certified sandwich (:mod:`repro.analysis.optimal`), ratios come in two
+flavours:
+
+* :func:`competitive_ratio_upper` divides by the p* *lower* bound — a
+  certified **upper** bound on the true ratio. Use it to verify O(·)
+  claims (Theorem 9: Bins* ratio ≤ O(log m)).
+* :func:`competitive_ratio_lower` divides by the p* *upper* bound — a
+  certified **lower** bound on the true ratio. Use it to verify Ω(·)
+  claims (Theorem 10: every algorithm ≥ Ω(log m) on Φ).
+
+For adaptive adversaries the denominator is ``E_{D∼Z}[p*(D)]`` over the
+random final profile (§2); :func:`adaptive_competitive_ratio` estimates
+both numerator and denominator from the same set of game outcomes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable, Sequence, Tuple
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.optimal import p_star_lower_bound, p_star_upper_bound
+from repro.errors import ConfigurationError
+
+ProbabilityFn = Callable[[DemandProfile], Fraction]
+
+
+def competitive_ratio_upper(
+    m: int, profile: DemandProfile, p_algorithm: Fraction
+) -> float:
+    """Certified upper bound on ``p_A(D)/p*(D)``."""
+    if profile.is_trivial:
+        raise ConfigurationError("competitive ratio undefined for n < 2")
+    denominator = p_star_lower_bound(m, profile)
+    if denominator == 0:
+        raise ConfigurationError(
+            f"p* lower bound vanished on {profile.demands}; cannot certify"
+        )
+    return float(Fraction(p_algorithm) / denominator)
+
+
+def competitive_ratio_lower(
+    m: int, profile: DemandProfile, p_algorithm: Fraction
+) -> float:
+    """Certified lower bound on ``p_A(D)/p*(D)``."""
+    if profile.is_trivial:
+        raise ConfigurationError("competitive ratio undefined for n < 2")
+    denominator = p_star_upper_bound(m, profile)
+    if denominator == 0:
+        raise ConfigurationError(
+            f"p* upper bound vanished on {profile.demands}"
+        )
+    return float(Fraction(p_algorithm) / denominator)
+
+
+def worst_ratio_over(
+    m: int,
+    profiles: Iterable[DemandProfile],
+    p_algorithm: ProbabilityFn,
+) -> Tuple[float, DemandProfile]:
+    """Max certified-upper ratio over a set of profiles, with the argmax."""
+    best_ratio = -1.0
+    best_profile = None
+    for profile in profiles:
+        ratio = competitive_ratio_upper(m, profile, p_algorithm(profile))
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_profile = profile
+    if best_profile is None:
+        raise ConfigurationError("no profiles supplied")
+    return best_ratio, best_profile
+
+
+def adaptive_competitive_ratio(
+    m: int,
+    collision_indicators: Sequence[bool],
+    final_profiles: Sequence[DemandProfile],
+    use_upper_p_star: bool = False,
+) -> float:
+    """Monte-Carlo estimate of ``p_A(Z) / E_{D∼Z}[p*(D)]`` (§2).
+
+    ``collision_indicators[t]`` and ``final_profiles[t]`` come from the
+    same game trial ``t``. The numerator is the empirical collision
+    frequency; the denominator averages the certified p* bound of each
+    realized final profile (lower bound by default ⇒ ratio is an upper
+    estimate, matching the O(·) direction of Theorem 11 / Corollary 12).
+    """
+    if len(collision_indicators) != len(final_profiles):
+        raise ConfigurationError("trial arrays must have equal length")
+    if not collision_indicators:
+        raise ConfigurationError("need at least one trial")
+    bound = p_star_upper_bound if use_upper_p_star else p_star_lower_bound
+    numerator = sum(collision_indicators) / len(collision_indicators)
+    denominator = sum(
+        float(bound(m, profile)) for profile in final_profiles
+    ) / len(final_profiles)
+    if denominator == 0:
+        raise ConfigurationError("denominator E[p*] vanished")
+    return numerator / denominator

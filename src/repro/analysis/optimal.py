@@ -1,0 +1,135 @@
+"""Machinery around ``p*(D)`` — the best achievable collision probability.
+
+``p*(D) = min_A p_A(D)`` is defined over *all* algorithms, so it cannot
+be computed by enumeration. The paper pins it down through reductions,
+all implemented here exactly:
+
+* **Uniform profiles** (Lemma 16): ``Bins(h)`` is *the* optimal
+  algorithm for ``(h, ..., h)``, so ``p*`` is the exact bins-level
+  birthday probability.
+* **Monotonicity**: decreasing or removing entries of ``D`` cannot
+  increase ``p*`` (fewer requests ⇒ the same algorithm does at least as
+  well), so any uniform profile "contained" in ``D`` lower-bounds it.
+* **Rank decomposition** (Lemma 20): group the entries of the rounded
+  profile ``D⁻`` by rank; collisions inside disjoint rank groups are
+  independent events, each lower-bounded by its uniform optimum.
+* **Pairs** (Lemma 24): for ``D = (i, j)`` the SkewAware construction
+  gives an exact upper bound ``1/⌊(m−j+i)/i⌋`` and the uniform reduction
+  gives the lower bound ``1/⌊m/i⌋`` — a Θ(1) sandwich around ``Θ(i/m)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.combinatorics import birthday_collision
+from repro.analysis.exact import skew_aware_pair_collision
+from repro.errors import ConfigurationError
+
+
+def optimal_uniform_collision(m: int, n: int, h: int) -> Fraction:
+    """Exact ``p*((h,)*n)`` = ``p_Bins(h)`` on the uniform profile (Lemma 16).
+
+    Each of the ``n`` instances opens exactly one bin among ``⌊m/h⌋``;
+    collision ⇔ two instances share a bin — an exact birthday event.
+    """
+    if h < 1 or n < 1:
+        raise ConfigurationError(f"need n, h >= 1, got n={n}, h={h}")
+    if h > m:
+        return Fraction(1)
+    bins = m // h
+    return birthday_collision(bins, n)
+
+
+def p_star_lower_bound(m: int, profile: DemandProfile) -> Fraction:
+    """A rigorous exact lower bound on ``p*(D)``.
+
+    Maximum of two certified bounds:
+
+    1. *Contained uniform profile*: for every distinct demand value
+       ``h``, the ``n_h`` entries ≥ ``h`` contain the uniform profile
+       ``(h,)*n_h``, so ``p*(D) ≥ optimal_uniform_collision(m, n_h, h)``.
+    2. *Rank decomposition of* ``D⁻`` (Lemma 20): collisions within
+       disjoint rank groups are independent for any algorithm, so
+       ``p*(D) ≥ p*(D⁻) ≥ 1 − Π_i (1 − p*((2^(i−1),)*s_i))``.
+    """
+    if profile.is_trivial:
+        return Fraction(0)
+    best = Fraction(0)
+    demands_sorted = sorted(profile.demands, reverse=True)
+    for index, h in enumerate(demands_sorted):
+        n_h = index + 1  # entries demands_sorted[0..index] are all >= h
+        if n_h >= 2:
+            candidate = optimal_uniform_collision(m, n_h, h)
+            if candidate > best:
+                best = candidate
+    no_collision = Fraction(1)
+    for index, s in enumerate(profile.rounded().rank_distribution()):
+        if s >= 2:
+            no_collision *= 1 - optimal_uniform_collision(
+                m, s, 1 << index
+            )
+    rank_bound = 1 - no_collision
+    return max(best, rank_bound)
+
+
+def p_star_upper_bound(m: int, profile: DemandProfile) -> Fraction:
+    """A certified upper bound on ``p*(D)``: some algorithm achieves it.
+
+    Uses the exact probabilities of the implemented closed-form
+    algorithms, plus the SkewAware construction on two-instance
+    profiles. ``p*`` is a min over all algorithms, so the min over any
+    concrete set is an upper bound.
+    """
+    from repro.analysis import exact
+
+    if profile.is_trivial:
+        return Fraction(0)
+    candidates = [
+        exact.random_collision_probability(m, profile),
+        exact.cluster_collision_probability(m, profile),
+    ]
+    # Bins(k) for the candidate bin sizes the paper's analysis points at:
+    # each distinct demand (the uniform optimum for that level).
+    for k in sorted(set(profile.demands)):
+        if 1 <= k <= m and profile.max_demand <= (m // k) * k:
+            candidates.append(
+                exact.bins_collision_probability(m, k, profile)
+            )
+    try:
+        candidates.append(
+            exact.bins_star_collision_probability(m, profile)
+        )
+    except ConfigurationError:
+        pass  # demand beyond the Bins* schedule
+    if profile.n == 2:
+        low, high = sorted(profile.demands)
+        candidates.append(skew_aware_pair_collision(m, low, high))
+    return min(candidates)
+
+
+def p_star_pair(m: int, i: int, j: int) -> Tuple[Fraction, Fraction]:
+    """Exact (lower, upper) sandwich for ``p*((i, j))`` with ``i ≤ j``.
+
+    Lower: the uniform reduction ``p*((i, i)) = 1/⌊m/i⌋``.
+    Upper: the Lemma 24 construction ``1/⌊(m−j+i)/i⌋``.
+    For ``j ≤ m/2`` the two differ by at most a constant factor (Θ(i/m)).
+    """
+    if not 1 <= i <= j <= m:
+        raise ConfigurationError(f"need 1 <= i <= j <= m, got {i}, {j}")
+    lower = optimal_uniform_collision(m, 2, i)
+    upper = skew_aware_pair_collision(m, i, j)
+    return lower, upper
+
+
+def brute_force_p_star_pair_11(m: int) -> Fraction:
+    """``p*((1, 1))`` exactly: any algorithm collides w.p. ≥ 1/m.
+
+    The first IDs of two instances are i.i.d. draws from the same
+    distribution ``q`` on [m]; the collision probability ``Σ q_c²`` is
+    minimized at the uniform distribution, giving exactly ``1/m``
+    (Corollary 17's base case). Provided as an oracle for tests.
+    """
+    return Fraction(1, m)

@@ -1,0 +1,304 @@
+"""Command-line interface: ``uuidp`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``list``
+    Show the available algorithms and experiments.
+``generate``
+    Emit IDs from one algorithm instance (hex or decimal).
+``analyze``
+    Exact collision probability of an algorithm on a demand profile.
+``simulate``
+    Monte-Carlo a profile or an adaptive attack.
+``experiment``
+    Run one experiment (or ``all``) and print its markdown table.
+``report``
+    Run the full suite and write EXPERIMENTS-style markdown to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adversary.attacks import ClosestPairAttack, GreedyGapAttack
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import exact_collision_probability
+from repro.core.registry import available_algorithms, make_generator
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+from repro.idspace.encoding import id_to_hex
+from repro.simulation.montecarlo import (
+    estimate_collision_probability,
+    estimate_profile_collision,
+)
+from repro.simulation.seeds import rng_for
+
+
+def _parse_profile(text: str) -> DemandProfile:
+    return DemandProfile(tuple(int(x) for x in text.split(",")))
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("algorithms:")
+    for name in available_algorithms():
+        print(f"  {name}")
+    print("experiments:")
+    from repro.experiments import TITLES
+
+    for eid in experiment_ids():
+        print(f"  {eid}: {TITLES[eid]}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = make_generator(args.algorithm, args.m, rng_for(args.seed))
+    for _ in range(args.count):
+        value = generator.next_id()
+        if args.hex:
+            print(id_to_hex(value, args.m))
+        else:
+            print(value)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    profile = _parse_profile(args.profile)
+    probability = exact_collision_probability(
+        args.algorithm, args.m, profile
+    )
+    print(
+        f"p_{args.algorithm}(D={profile.demands}, m={args.m}) = "
+        f"{float(probability):.6g}  (exact: {probability})"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    factory = lambda m, rng: make_generator(args.algorithm, m, rng)
+    if args.attack:
+        attack_cls = {
+            "closest_pair": ClosestPairAttack,
+            "greedy_gap": GreedyGapAttack,
+        }[args.attack]
+        profile = _parse_profile(args.profile)
+        n, d = profile.n, profile.total
+        estimate = estimate_collision_probability(
+            factory,
+            args.m,
+            lambda rng: attack_cls(n=n, d=d),
+            trials=args.trials,
+            seed=args.seed,
+        )
+        label = f"{args.attack} attack (n={n}, d={d})"
+    else:
+        profile = _parse_profile(args.profile)
+        estimate = estimate_profile_collision(
+            factory, args.m, profile, trials=args.trials, seed=args.seed
+        )
+        label = f"oblivious profile {profile.demands}"
+    print(f"{args.algorithm} vs {label} on m={args.m}: {estimate}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.render import chart_from_result, result_to_json
+
+    config = ExperimentConfig(quick=args.quick, seed=args.seed)
+    ids = experiment_ids() if args.id.lower() == "all" else [args.id]
+    exit_code = 0
+    for eid in ids:
+        result = run_experiment(eid, config)
+        if args.json:
+            print(result_to_json(result))
+        else:
+            print(result.to_markdown())
+        if args.chart:
+            x_column, _, y_spec = args.chart.partition(":")
+            y_columns = [c for c in y_spec.split(",") if c]
+            print(chart_from_result(result, x_column, y_columns))
+        if not result.all_passed:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_worst(args: argparse.Namespace) -> int:
+    from repro.adversary.worst_case import find_worst_profile
+    from repro.analysis.exact import exact_collision_probability
+
+    profile, value = find_worst_profile(
+        lambda D: exact_collision_probability(args.algorithm, args.m, D),
+        args.n,
+        args.d,
+    )
+    print(
+        f"worst found profile for {args.algorithm} over D1(n={args.n}, "
+        f"d={args.d}), m={args.m}:"
+    )
+    print(f"  D = {profile.demands}")
+    print(f"  p = {float(value):.6g}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Side-by-side safety table for a deployment (m, n, per-instance h)."""
+    from repro.analysis.exact import (
+        bins_collision_probability,
+        bins_star_collision_probability,
+        cluster_collision_probability,
+        random_collision_probability,
+    )
+
+    profile = DemandProfile.uniform(args.n, args.h)
+    rows = [
+        ("random", random_collision_probability(args.m, profile)),
+        ("cluster", cluster_collision_probability(args.m, profile)),
+    ]
+    if args.h <= (args.m // args.h) * args.h:
+        rows.append(
+            (
+                f"bins({args.h})",
+                bins_collision_probability(args.m, args.h, profile),
+            )
+        )
+    try:
+        rows.append(
+            ("bins*", bins_star_collision_probability(args.m, profile))
+        )
+    except ReproError:
+        pass  # demand beyond the Bins* schedule for this m
+    print(
+        f"deployment: n={args.n} instances x h={args.h} IDs each, "
+        f"universe m={args.m} (~{args.m.bit_length() - 1} bits)"
+    )
+    print(f"{'algorithm':>12}  {'collision probability':>22}")
+    for name, probability in sorted(rows, key=lambda row: row[1]):
+        print(f"{name:>12}  {float(probability):>22.6g}")
+    print(
+        "\n(uniform demand; for skewed fleets or adaptive threat models "
+        "see `uuidp analyze`, `uuidp simulate --attack`, and E12)"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(quick=args.quick, seed=args.seed)
+    results = run_all(config)
+    sections = [result.to_markdown() for result in results]
+    passed = sum(1 for r in results if r.all_passed)
+    header = [
+        "# EXPERIMENTS — measured reproduction of every claim",
+        "",
+        f"Shape checks passed in {passed}/{len(results)} experiments.",
+        "",
+    ]
+    content = "\n".join(header) + "\n" + "\n".join(sections)
+    with open(args.output, "w") as handle:
+        handle.write(content)
+    print(f"wrote {args.output} ({passed}/{len(results)} experiments green)")
+    return 0 if passed == len(results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="uuidp",
+        description="Optimal Uncoordinated Unique IDs (PODS 2023) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list algorithms and experiments")
+
+    gen = sub.add_parser("generate", help="emit IDs from one instance")
+    gen.add_argument("algorithm", help="e.g. cluster, bins:16, bins*")
+    gen.add_argument("--m", type=int, default=1 << 128)
+    gen.add_argument("--count", type=int, default=10)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--hex", action="store_true")
+
+    ana = sub.add_parser("analyze", help="exact collision probability")
+    ana.add_argument("algorithm")
+    ana.add_argument("profile", help="comma-separated demands, e.g. 8,8,8")
+    ana.add_argument("--m", type=int, default=1 << 20)
+
+    simu = sub.add_parser("simulate", help="Monte-Carlo a game")
+    simu.add_argument("algorithm")
+    simu.add_argument("profile", help="comma-separated demands")
+    simu.add_argument("--m", type=int, default=1 << 20)
+    simu.add_argument("--trials", type=int, default=1000)
+    simu.add_argument("--seed", type=int, default=0)
+    simu.add_argument(
+        "--attack", choices=["closest_pair", "greedy_gap"], default=None,
+        help="play adaptively with this attack instead of obliviously",
+    )
+
+    exp = sub.add_parser("experiment", help="run one experiment")
+    exp.add_argument("id", help="E1..E12, A1, A2, or 'all'")
+    exp.add_argument("--quick", action="store_true")
+    exp.add_argument("--seed", type=int, default=20230414)
+    exp.add_argument(
+        "--json", action="store_true", help="emit JSON instead of markdown"
+    )
+    exp.add_argument(
+        "--chart",
+        default=None,
+        metavar="XCOL:YCOL[,YCOL...]",
+        help="also draw an ASCII chart of the selected columns",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="side-by-side safety table for a deployment"
+    )
+    compare.add_argument("--m", type=int, default=1 << 128)
+    compare.add_argument("--n", type=int, default=1000, help="instances")
+    compare.add_argument(
+        "--h", type=int, default=10**9, help="IDs per instance"
+    )
+
+    worst = sub.add_parser(
+        "worst", help="search the worst oblivious profile in D1(n, d)"
+    )
+    worst.add_argument("algorithm", help="an algorithm with a closed form")
+    worst.add_argument("--n", type=int, default=8)
+    worst.add_argument("--d", type=int, default=1024)
+    worst.add_argument("--m", type=int, default=1 << 20)
+
+    rep = sub.add_parser("report", help="run all experiments to markdown")
+    rep.add_argument("--output", default="EXPERIMENTS.md")
+    rep.add_argument("--quick", action="store_true")
+    rep.add_argument("--seed", type=int, default=20230414)
+
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+    "worst": _cmd_worst,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's ID-generation algorithms (§3): the core contribution.
+
+========================  ==========================================
+:class:`RandomGenerator`  GUID-style uniform sampling w/o replacement
+:class:`ClusterGenerator` RocksDB's random-start sequential IDs
+:class:`BinsGenerator`    ``Bins(k)`` — shuffled k-ID bins
+:class:`ClusterStarGenerator` ``Cluster*`` — adaptive-safe runs
+:class:`BinsStarGenerator``   ``Bins*`` — competitively optimal
+:class:`SkewAwareGenerator`   Lemma 24 per-profile optimum
+========================  ==========================================
+"""
+
+from repro.core.base import IDGenerator
+from repro.core.bins import BinsGenerator
+from repro.core.bins_star import BinsStarGenerator, chunk_count
+from repro.core.cluster import ClusterGenerator
+from repro.core.cluster_star import ClusterStarGenerator
+from repro.core.intervals import CircularIntervalSet
+from repro.core.random_gen import RandomGenerator
+from repro.core.registry import available_algorithms, make_generator, register
+from repro.core.skew_aware import SkewAwareGenerator
+
+__all__ = [
+    "IDGenerator",
+    "RandomGenerator",
+    "ClusterGenerator",
+    "BinsGenerator",
+    "ClusterStarGenerator",
+    "BinsStarGenerator",
+    "SkewAwareGenerator",
+    "CircularIntervalSet",
+    "chunk_count",
+    "make_generator",
+    "register",
+    "available_algorithms",
+]

@@ -1,0 +1,39 @@
+"""``Cluster`` — RocksDB's uncoordinated ID algorithm.
+
+Pick ``x ∈ [m]`` uniformly at random and return ``x, x+1, x+2, ...``
+modulo ``m`` (§3.1). One instance therefore occupies a single contiguous
+arc of the cycle ``Z_m``, so two instances collide only if their arcs
+overlap: ``Pr = (d_i + d_j − 1)/m`` for demands ``d_i, d_j`` (Theorem 1's
+pairwise event), giving overall ``p_Cluster(D) = Θ(min(1, n‖D‖₁/m))``.
+
+Theorem 6 shows this is worst-case optimal against oblivious adversaries.
+Lemma 7 shows it is *not* safe against adaptive adversaries: after seeing
+everyone's first ID, an adversary can drive the two closest instances
+into each other, inflating the probability by a factor of ``n``
+(implemented in :class:`repro.adversary.attacks.ClosestPairAttack`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.base import IDGenerator
+
+
+class ClusterGenerator(IDGenerator):
+    """Sequential IDs from a uniformly random starting point (mod m)."""
+
+    name = "cluster"
+
+    def __init__(self, m: int, rng: Optional[random.Random] = None):
+        super().__init__(m, rng)
+        self._start = self.rng.randrange(self.m)
+
+    @property
+    def start(self) -> int:
+        """The random starting point ``x`` of this instance's arc."""
+        return self._start
+
+    def _generate(self) -> int:
+        return (self._start + self._count) % self.m

@@ -1,0 +1,161 @@
+"""Interval arithmetic on the cycle ``Z_m``.
+
+``Cluster*`` places exponentially growing runs on the cycle such that a
+new run never overlaps the instance's previous runs. Rather than
+rejection-sample starting points (which stalls as the cycle fills up),
+we maintain the exact set of *blocked* positions as a union of circular
+intervals and sample uniformly from its complement.
+
+Intervals are half-open arcs ``[start, start + length) mod m`` with
+``1 <= length <= m``. Internally every arc is normalized into at most
+two linear ``(lo, hi)`` pieces within ``[0, m)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+LinearInterval = Tuple[int, int]  # half-open [lo, hi) with 0 <= lo < hi <= m
+
+
+def split_arc(start: int, length: int, m: int) -> List[LinearInterval]:
+    """Normalize the circular arc ``[start, start+length) mod m``.
+
+    Returns one linear piece if the arc does not wrap, two if it does,
+    and the full ``[0, m)`` if ``length >= m``.
+    """
+    if length <= 0:
+        return []
+    if length >= m:
+        return [(0, m)]
+    start %= m
+    end = start + length
+    if end <= m:
+        return [(start, end)]
+    return [(start, m), (0, end - m)]
+
+
+def merge_linear(pieces: List[LinearInterval]) -> List[LinearInterval]:
+    """Merge overlapping/adjacent linear intervals into a sorted list."""
+    if not pieces:
+        return []
+    pieces = sorted(pieces)
+    merged = [pieces[0]]
+    for lo, hi in pieces[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def complement_linear(pieces: List[LinearInterval], m: int) -> List[LinearInterval]:
+    """Complement of a merged, sorted list of linear intervals in [0, m)."""
+    gaps: List[LinearInterval] = []
+    cursor = 0
+    for lo, hi in pieces:
+        if lo > cursor:
+            gaps.append((cursor, lo))
+        cursor = max(cursor, hi)
+    if cursor < m:
+        gaps.append((cursor, m))
+    return gaps
+
+
+def arcs_overlap(start_a: int, len_a: int, start_b: int, len_b: int, m: int) -> bool:
+    """Do the circular arcs ``[a, a+len_a)`` and ``[b, b+len_b)`` intersect?"""
+    for lo_a, hi_a in split_arc(start_a, len_a, m):
+        for lo_b, hi_b in split_arc(start_b, len_b, m):
+            if lo_a < hi_b and lo_b < hi_a:
+                return True
+    return False
+
+
+class CircularIntervalSet:
+    """A growing union of arcs on ``Z_m`` supporting uniform gap sampling.
+
+    Used by ``Cluster*``: arcs are the runs an instance has already
+    placed; :meth:`sample_free_start` draws a uniformly random starting
+    point for a new run of a given length that cannot touch any existing
+    arc.
+    """
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise ConfigurationError(f"cycle size m must be >= 1, got {m}")
+        self.m = m
+        self._arcs: List[Tuple[int, int]] = []  # (start, length) as inserted
+
+    @property
+    def arcs(self) -> List[Tuple[int, int]]:
+        """The inserted arcs, in insertion order."""
+        return list(self._arcs)
+
+    def covered(self) -> int:
+        """Total number of positions covered by the union of arcs."""
+        merged = merge_linear(
+            [p for s, ln in self._arcs for p in split_arc(s, ln, self.m)]
+        )
+        return sum(hi - lo for lo, hi in merged)
+
+    def add(self, start: int, length: int) -> None:
+        """Insert the arc ``[start, start+length)`` (no overlap check)."""
+        if length < 1:
+            raise ConfigurationError(f"arc length must be >= 1, got {length}")
+        self._arcs.append((start % self.m, length))
+
+    def overlaps(self, start: int, length: int) -> bool:
+        """Would the arc ``[start, start+length)`` touch an existing arc?"""
+        return any(
+            arcs_overlap(start, length, s, ln, self.m) for s, ln in self._arcs
+        )
+
+    def free_starts(self, run_length: int) -> List[LinearInterval]:
+        """Linear intervals of valid starts for a new arc of ``run_length``.
+
+        A start ``x`` is invalid iff ``[x, x+run_length)`` intersects some
+        existing arc ``[s, s+ln)``, i.e. ``x ∈ [s - run_length + 1, s + ln)``
+        (mod m) — a circular interval of length ``ln + run_length - 1``.
+        """
+        if run_length < 1:
+            raise ConfigurationError(
+                f"run length must be >= 1, got {run_length}"
+            )
+        blocked: List[LinearInterval] = []
+        for s, ln in self._arcs:
+            blocked.extend(
+                split_arc(s - run_length + 1, ln + run_length - 1, self.m)
+            )
+        return complement_linear(merge_linear(blocked), self.m)
+
+    def count_free_starts(self, run_length: int) -> int:
+        """Number of valid starting points for a run of ``run_length``."""
+        return sum(hi - lo for lo, hi in self.free_starts(run_length))
+
+    def sample_free_start(self, run_length: int, rng: random.Random) -> int:
+        """Uniformly sample a valid start, or raise ``ValueError`` if none.
+
+        Exact (no rejection): picks the j-th free position for a uniform
+        ``j`` via prefix sums over the free gaps.
+        """
+        gaps = self.free_starts(run_length)
+        total = sum(hi - lo for lo, hi in gaps)
+        if total == 0:
+            raise ValueError(
+                f"no room for a run of length {run_length} on Z_{self.m}"
+            )
+        target = rng.randrange(total)
+        prefix = 0
+        boundaries = []
+        for lo, hi in gaps:
+            prefix += hi - lo
+            boundaries.append(prefix)
+        index = bisect.bisect_right(boundaries, target)
+        lo, hi = gaps[index]
+        offset_into_gap = target - (boundaries[index] - (hi - lo))
+        return lo + offset_into_gap

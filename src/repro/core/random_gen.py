@@ -1,0 +1,54 @@
+"""``Random`` — the algorithm behind the random part of GUIDs.
+
+Every request returns an integer sampled from ``[m]`` uniformly without
+replacement (§3.1 of the paper). Its collision probability on a demand
+profile ``D`` is ``Θ(min(1, (‖D‖₁² − ‖D‖₂²)/m))`` (Corollary 3), i.e. the
+birthday bound: safe only while the *total* demand stays well below
+``sqrt(m)``.
+
+Implementation notes
+---------------------
+For the huge, sparse universes this algorithm is used with in practice
+(``m = 2**128``), rejection sampling against the set of already-produced
+IDs is expected O(1) per draw. Once more than half the universe has been
+consumed (only possible for small ``m``) we switch to an explicit
+shuffle of the remaining IDs so the tail stays O(1) per draw too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from repro.core.base import IDGenerator
+
+
+class RandomGenerator(IDGenerator):
+    """Uniform sampling without replacement from ``range(m)``."""
+
+    name = "random"
+
+    def __init__(self, m: int, rng: Optional[random.Random] = None):
+        super().__init__(m, rng)
+        self._used: Set[int] = set()
+        # Lazily built once density crosses 1/2: remaining IDs, shuffled.
+        self._tail: Optional[List[int]] = None
+
+    def _generate(self) -> int:
+        if self._tail is not None:
+            value = self._tail.pop()
+            return value
+        # Dense regime: materialize and shuffle what's left. Only ever
+        # reachable for small m, so the list is affordable.
+        if 2 * len(self._used) >= self.m:
+            remaining = [i for i in range(self.m) if i not in self._used]
+            self.rng.shuffle(remaining)
+            self._tail = remaining
+            self._used = set()  # no longer needed; free the memory
+            return self._tail.pop()
+        # Sparse regime: rejection sampling, expected < 2 iterations.
+        while True:
+            value = self.rng.randrange(self.m)
+            if value not in self._used:
+                self._used.add(value)
+                return value

@@ -1,0 +1,79 @@
+"""Name-based registry of ID-generation algorithms.
+
+Experiments, the CLI and the benchmarks refer to algorithms by name
+(``"cluster"``, ``"bins:16"``, ...). A *spec* is either a bare name or
+``name:arg1:arg2`` for parameterized algorithms:
+
+========  =======================  ==============================
+spec      class                    parameters
+========  =======================  ==============================
+random    RandomGenerator          —
+cluster   ClusterGenerator         —
+bins:K    BinsGenerator            bin size ``K``
+cluster*  ClusterStarGenerator     —  (alias: cluster_star)
+bins*     BinsStarGenerator        —  (alias: bins_star)
+skew:I:J  SkewAwareGenerator       target profile ``(I, J)``
+========  =======================  ==============================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.base import IDGenerator
+from repro.core.bins import BinsGenerator
+from repro.core.bins_star import BinsStarGenerator
+from repro.core.cluster import ClusterGenerator
+from repro.core.cluster_star import ClusterStarGenerator
+from repro.core.random_gen import RandomGenerator
+from repro.core.skew_aware import SkewAwareGenerator
+from repro.errors import ConfigurationError
+
+GeneratorFactory = Callable[..., IDGenerator]
+
+_REGISTRY: Dict[str, GeneratorFactory] = {}
+
+
+def register(name: str, factory: GeneratorFactory) -> None:
+    """Register ``factory`` under ``name`` (lowercase, no colons)."""
+    if ":" in name:
+        raise ConfigurationError(f"algorithm name may not contain ':': {name}")
+    _REGISTRY[name.lower()] = factory
+
+
+def available_algorithms() -> List[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_REGISTRY)
+
+
+def make_generator(
+    spec: str, m: int, rng: Optional[random.Random] = None
+) -> IDGenerator:
+    """Instantiate a generator from a spec string like ``"bins:16"``.
+
+    Integer arguments after the name are passed positionally to the
+    factory. ``cluster*`` / ``bins*`` are accepted as aliases.
+    """
+    parts = spec.strip().lower().split(":")
+    name = parts[0].replace("*", "_star")
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown algorithm {parts[0]!r}; available: "
+            f"{', '.join(available_algorithms())}"
+        )
+    try:
+        args = [int(p) for p in parts[1:]]
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"non-integer parameter in spec {spec!r}"
+        ) from exc
+    return _REGISTRY[name](m, *args, rng=rng)
+
+
+register("random", RandomGenerator)
+register("cluster", ClusterGenerator)
+register("bins", BinsGenerator)
+register("cluster_star", ClusterStarGenerator)
+register("bins_star", BinsStarGenerator)
+register("skew", SkewAwareGenerator)

@@ -1,0 +1,78 @@
+"""``SkewAware(i, j)`` — the Lemma 24 construction (§8).
+
+For a *known* skewed demand profile ``(i, j)`` with ``i ≤ j``, the paper
+exhibits an algorithm with collision probability ``Θ(i/m)`` — up to a
+factor ``Θ(j/i)`` better than ``Cluster``'s ``Θ((i+j)/m)``:
+
+* set aside ``j − i`` *hard-wired* IDs (we use the top of the universe,
+  ``{m−(j−i), ..., m−1}``);
+* serve the first ``i`` requests with ``Bins(i)`` over the remaining
+  ``m − (j − i)`` IDs;
+* serve every request beyond the ``i``-th from the hard-wired tail,
+  deterministically in increasing order.
+
+Two instances of the algorithm collide on the profile ``(i, j)`` iff
+their ``Bins(i)`` prefixes collide (the hard-wired tails are identical
+but only one instance ever reaches them under ``(i, j)``... whereas if
+*both* exceed ``i`` requests they collide deterministically — this
+algorithm is tuned to one profile, which is exactly the point of the
+competitive lower bound: no single algorithm can match it everywhere).
+
+This class is the baseline against which ``Bins*``'s ``O(log m)``
+competitive ratio is measured in experiment E8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.base import IDGenerator
+from repro.core.bins import BinsGenerator
+from repro.errors import ConfigurationError
+
+
+class SkewAwareGenerator(IDGenerator):
+    """Bins(i) prefix over a reduced space + hard-wired deterministic tail."""
+
+    name = "skew_aware"
+
+    def __init__(
+        self,
+        m: int,
+        i: int,
+        j: int,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(m, rng)
+        if not 1 <= i <= j:
+            raise ConfigurationError(
+                f"skew_aware requires 1 <= i <= j, got i={i}, j={j}"
+            )
+        if j > m:
+            raise ConfigurationError(f"j={j} exceeds universe size m={m}")
+        reduced = m - (j - i)
+        if reduced < i:
+            raise ConfigurationError(
+                f"reduced space m-(j-i)={reduced} cannot host Bins({i})"
+            )
+        self.i = i
+        self.j = j
+        self._tail_start = reduced
+        self._prefix = BinsGenerator(reduced, i, rng=self.rng)
+
+    @property
+    def hardwired_count(self) -> int:
+        """Number of deterministic tail IDs: ``j − i``."""
+        return self.j - self.i
+
+    def _generate(self) -> int:
+        if self._count < self.i:
+            return self._prefix.next_id()
+        # Deterministic tail: positions m-(j-i), ..., m-1, then (if the
+        # caller keeps asking past j) continue with the prefix generator
+        # so the instance can still emit all m IDs.
+        tail_index = self._count - self.i
+        if tail_index < self.hardwired_count:
+            return self._tail_start + tail_index
+        return self._prefix.next_id()

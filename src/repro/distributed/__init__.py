@@ -1,0 +1,22 @@
+"""Multi-node deployment simulator: migration makes IDs global (§1)."""
+
+from repro.distributed.cluster import ClusterReport, ClusterSimulator
+from repro.distributed.migration import (
+    MigrationEvent,
+    UniquenessAudit,
+    audit_id_uniqueness,
+    migrate_coldest_to_warmest,
+    migrate_random,
+)
+from repro.distributed.node import Node
+
+__all__ = [
+    "Node",
+    "ClusterSimulator",
+    "ClusterReport",
+    "MigrationEvent",
+    "UniquenessAudit",
+    "audit_id_uniqueness",
+    "migrate_coldest_to_warmest",
+    "migrate_random",
+]

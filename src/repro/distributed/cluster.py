@@ -1,0 +1,169 @@
+"""The multi-node cluster simulator (end-to-end experiment E11).
+
+``ClusterSimulator`` stands in for the production fleet in the paper's
+introduction: ``n`` nodes, each with an uncoordinated ID generator,
+one shared block cache, periodic load-balancing migrations, and an
+auditor that reports both raw ID collisions and the corruption they
+cause on the read path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.distributed.migration import (
+    MigrationEvent,
+    UniquenessAudit,
+    audit_id_uniqueness,
+    migrate_coldest_to_warmest,
+)
+from repro.distributed.node import Node
+from repro.errors import ConfigurationError
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.options import Options
+from repro.simulation.seeds import rng_for
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate health/corruption report after a simulation run."""
+
+    operations: int
+    migrations: int
+    audit: UniquenessAudit
+    corrupt_block_reads: int
+    corrupt_results: int
+    cache_cross_file_hits: int
+    cache_hit_rate: float
+
+    @property
+    def corrupted(self) -> bool:
+        """Did an ID collision manifest anywhere?"""
+        return self.audit.collided or self.corrupt_block_reads > 0
+
+
+class ClusterSimulator:
+    """n uncoordinated MiniRocks nodes with a shared block cache.
+
+    Parameters
+    ----------
+    num_nodes:
+        Fleet size (the paper's ``n``).
+    options_factory:
+        Builds each node's :class:`Options` — supply the ID algorithm
+        and (small!) ``id_universe`` here to make collisions observable.
+    cache_blocks:
+        Capacity of the shared block cache.
+    seed:
+        Root seed; node ``i`` derives its own RNG.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        options_factory: Callable[[], Options],
+        cache_blocks: int = 8192,
+        seed: int = 0,
+    ):
+        if num_nodes < 1:
+            raise ConfigurationError("need >= 1 node")
+        self.cache = BlockCache(cache_blocks)
+        self.seed = seed
+        self.nodes: List[Node] = [
+            Node(
+                name=f"node{i}",
+                options=options_factory(),
+                cache=self.cache,
+                rng=rng_for(seed, i),
+            )
+            for i in range(num_nodes)
+        ]
+        self.migration_events: List[MigrationEvent] = []
+        self._operations = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def node_for_key(self, key: bytes) -> Node:
+        """Static hash routing of keys to nodes."""
+        return self.nodes[hash(key) % len(self.nodes)]
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.node_for_key(key).put(key, value)
+        self._operations += 1
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._operations += 1
+        return self.node_for_key(key).get(key)
+
+    def delete(self, key: bytes) -> None:
+        self.node_for_key(key).delete(key)
+        self._operations += 1
+
+    # -- cluster operations --------------------------------------------------
+
+    def rebalance(self, max_moves: int = 1) -> List[MigrationEvent]:
+        """Run the load balancer once."""
+        events = migrate_coldest_to_warmest(
+            self.nodes, rng_for(self.seed, 0xB417, len(self.migration_events)),
+            max_moves=max_moves,
+        )
+        self.migration_events.extend(events)
+        return events
+
+    def flush_all(self) -> None:
+        """Flush every node's memtable."""
+        for node in self.nodes:
+            node.db.flush()
+
+    def run_workload(
+        self,
+        operations,
+        rebalance_every: Optional[int] = None,
+        moves_per_rebalance: int = 2,
+    ) -> None:
+        """Drive a sequence of ``(op, key, value)`` operations.
+
+        ``op`` is ``"put" | "get" | "delete"``. With
+        ``rebalance_every=k`` the balancer runs after every k ops —
+        interleaving migrations with traffic, as production does.
+        """
+        for index, (op, key, value) in enumerate(operations, start=1):
+            if op == "put":
+                self.put(key, value)
+            elif op == "get":
+                self.get(key)
+            elif op == "delete":
+                self.delete(key)
+            else:
+                raise ConfigurationError(f"unknown workload op {op!r}")
+            if (
+                rebalance_every is not None
+                and index % rebalance_every == 0
+                and len(self.nodes) >= 2
+            ):
+                self.rebalance(max_moves=moves_per_rebalance)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> ClusterReport:
+        """Collect the cluster-wide collision/corruption report."""
+        audit = audit_id_uniqueness(self.nodes)
+        return ClusterReport(
+            operations=self._operations,
+            migrations=len(self.migration_events),
+            audit=audit,
+            corrupt_block_reads=sum(
+                node.db.stats.corrupt_block_reads for node in self.nodes
+            ),
+            corrupt_results=sum(
+                node.db.stats.corrupt_results for node in self.nodes
+            ),
+            cache_cross_file_hits=self.cache.stats.cross_file_hits,
+            cache_hit_rate=self.cache.stats.hit_rate,
+        )
+
+    def total_files_assigned(self) -> int:
+        """IDs minted across the fleet so far."""
+        return sum(len(node.db.assigned_file_ids()) for node in self.nodes)

@@ -1,0 +1,130 @@
+"""SST migration policies and cluster-wide uniqueness auditing.
+
+Migration is *why* uncoordinated IDs must be globally unique: a file
+minted on node A, cached under ``(file_id, block)`` keys, moves to node
+B while node C may independently mint the same ``file_id``. The audit
+functions here measure exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.distributed.node import Node
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """A completed file move."""
+
+    file_id: int
+    fingerprint: int
+    source: str
+    destination: str
+    level: int
+
+
+def migrate_coldest_to_warmest(
+    nodes: Sequence[Node], rng: random.Random, max_moves: int = 1
+) -> List[MigrationEvent]:
+    """Balance load: move files from the most- to the least-loaded node.
+
+    Returns the performed moves (possibly fewer than ``max_moves`` if
+    the donor has nothing exportable).
+    """
+    if len(nodes) < 2:
+        raise ConfigurationError("migration needs >= 2 nodes")
+    events: List[MigrationEvent] = []
+    for _ in range(max_moves):
+        donor = max(nodes, key=lambda n: n.load())
+        receiver = min(nodes, key=lambda n: n.load())
+        if donor is receiver or donor.load() == 0:
+            break
+        exportable = donor.exportable_files()
+        if not exportable:
+            break
+        level, sst = exportable[rng.randrange(len(exportable))]
+        donor.export_file(level, sst)
+        receiver.import_file(level, sst)
+        events.append(
+            MigrationEvent(
+                file_id=sst.file_id,
+                fingerprint=sst.fingerprint,
+                source=donor.name,
+                destination=receiver.name,
+                level=level,
+            )
+        )
+    return events
+
+
+def migrate_random(
+    nodes: Sequence[Node], rng: random.Random, moves: int
+) -> List[MigrationEvent]:
+    """Shuffle files between random node pairs (stress-test pattern)."""
+    if len(nodes) < 2:
+        raise ConfigurationError("migration needs >= 2 nodes")
+    events: List[MigrationEvent] = []
+    for _ in range(moves):
+        donor = nodes[rng.randrange(len(nodes))]
+        receiver = nodes[rng.randrange(len(nodes))]
+        if donor is receiver:
+            continue
+        exportable = donor.exportable_files()
+        if not exportable:
+            continue
+        level, sst = exportable[rng.randrange(len(exportable))]
+        donor.export_file(level, sst)
+        receiver.import_file(level, sst)
+        events.append(
+            MigrationEvent(
+                file_id=sst.file_id,
+                fingerprint=sst.fingerprint,
+                source=donor.name,
+                destination=receiver.name,
+                level=level,
+            )
+        )
+    return events
+
+
+@dataclass(frozen=True)
+class UniquenessAudit:
+    """Result of a cluster-wide file-ID uniqueness check."""
+
+    total_ids_assigned: int
+    distinct_ids: int
+    #: file_id -> number of times it was assigned (only entries > 1).
+    duplicates: Dict[int, int]
+
+    @property
+    def collided(self) -> bool:
+        return bool(self.duplicates)
+
+    @property
+    def collision_count(self) -> int:
+        """Number of extra assignments beyond the first per ID."""
+        return sum(count - 1 for count in self.duplicates.values())
+
+
+def audit_id_uniqueness(nodes: Sequence[Node]) -> UniquenessAudit:
+    """Check every ID ever assigned anywhere in the cluster.
+
+    This is the UUIDP collision event itself: the same ID minted by two
+    (or more) uncoordinated generator instances.
+    """
+    counts: Counter = Counter()
+    for node in nodes:
+        counts.update(node.db.assigned_file_ids())
+    duplicates = {
+        file_id: count for file_id, count in counts.items() if count > 1
+    }
+    return UniquenessAudit(
+        total_ids_assigned=sum(counts.values()),
+        distinct_ids=len(counts),
+        duplicates=duplicates,
+    )

@@ -1,0 +1,86 @@
+"""A node hosting one MiniRocks instance.
+
+Nodes are the paper's "instances of A": each owns a private,
+uncoordinated ID generator (inside its store) and shares nothing with
+its peers except the block cache — exactly the deployment that makes
+cross-instance ID uniqueness a correctness requirement once SSTs
+migrate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import KVStoreError
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.db import MiniRocks
+from repro.kvstore.options import Options
+from repro.kvstore.sstable import SSTable
+
+
+class Node:
+    """One cluster member: a named MiniRocks with migration hooks."""
+
+    def __init__(
+        self,
+        name: str,
+        options: Options,
+        cache: BlockCache,
+        rng: Optional[random.Random] = None,
+    ):
+        self.name = name
+        self.db = MiniRocks(options=options, cache=cache, rng=rng, name=name)
+        #: Files received from other nodes (kept for audits).
+        self.received_files: List[int] = []
+
+    # -- data path ----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.db.put(key, value)
+
+    def get(self, key: bytes):
+        return self.db.get(key)
+
+    def delete(self, key: bytes) -> None:
+        self.db.delete(key)
+
+    # -- migration ----------------------------------------------------------
+
+    def exportable_files(self) -> List[Tuple[int, SSTable]]:
+        """(level, sst) pairs this node could hand to a peer.
+
+        Only bottom-half levels are exported; L0 files churn too fast
+        to be worth moving (mirrors production practice).
+        """
+        exportable = []
+        for level, sst in self.db.manifest.live_files():
+            if level >= 1:
+                exportable.append((level, sst))
+        return exportable
+
+    def export_file(self, level: int, sst: SSTable) -> SSTable:
+        """Detach ``sst`` for migration; it keeps its file ID."""
+        self.db.manifest.detach_file(level, sst)
+        return sst
+
+    def import_file(self, level: int, sst: SSTable) -> None:
+        """Attach a migrated file (ID assigned by the origin node).
+
+        L1+ overlap conflicts are resolved by placing at L0, which
+        tolerates overlap (again mirroring ingestion behaviour).
+        """
+        try:
+            self.db.manifest.attach_file(level, sst)
+        except KVStoreError:
+            self.db.manifest.attach_file(0, sst)
+        self.received_files.append(sst.file_id)
+
+    # -- introspection ---------------------------------------------------------
+
+    def load(self) -> int:
+        """Total live entries (the balancer's load metric)."""
+        return self.db.manifest.total_entries()
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, load={self.load()})"

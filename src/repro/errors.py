@@ -1,0 +1,47 @@
+"""Exception hierarchy for the UUIDP reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters."""
+
+
+class IDSpaceExhaustedError(ReproError):
+    """An ID generator was asked for more IDs than it can produce.
+
+    ``Random``, ``Cluster`` and ``Bins(k)`` can produce all ``m`` IDs.
+    ``Bins*`` can only produce ``2^C - 1`` IDs before its schedule ends
+    (the paper makes no claim beyond that point), and ``Cluster*`` may
+    fail earlier due to fragmentation for demand beyond the analyzed
+    ``m / (2 log m)`` per-instance regime.
+    """
+
+    def __init__(self, message: str, produced: int = 0):
+        super().__init__(message)
+        #: Number of IDs successfully produced before exhaustion.
+        self.produced = produced
+
+
+class GameError(ReproError):
+    """The adversary/game protocol was violated."""
+
+
+class ProfileError(ReproError):
+    """A demand profile was malformed or outside the allowed family."""
+
+
+class KVStoreError(ReproError):
+    """Base class for the MiniRocks key-value store errors."""
+
+
+class CorruptionDetectedError(KVStoreError):
+    """A read returned bytes from the wrong SST due to an ID collision."""

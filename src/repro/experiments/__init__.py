@@ -1,0 +1,86 @@
+"""Experiment registry: one module per reproduced claim (see DESIGN.md §4)."""
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    a01_cluster_star_growth,
+    a02_bins_star_chunks,
+    e01_cluster_theorem1,
+    e02_bins_theorem2,
+    e03_random_corollary3,
+    e04_worstcase_crossover,
+    e05_optimality,
+    e06_adaptive_cluster,
+    e07_cluster_star,
+    e08_bins_star_competitive,
+    e09_lower_bound_phi,
+    e10_adaptive_competitive,
+    e11_kvstore_endtoend,
+    e12_summary_table,
+)
+from repro.experiments.framework import (
+    Check,
+    ExperimentConfig,
+    ExperimentResult,
+)
+
+_MODULES = [
+    e01_cluster_theorem1,
+    e02_bins_theorem2,
+    e03_random_corollary3,
+    e04_worstcase_crossover,
+    e05_optimality,
+    e06_adaptive_cluster,
+    e07_cluster_star,
+    e08_bins_star_competitive,
+    e09_lower_bound_phi,
+    e10_adaptive_competitive,
+    e11_kvstore_endtoend,
+    e12_summary_table,
+    a01_cluster_star_growth,
+    a02_bins_star_chunks,
+]
+
+REGISTRY: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+TITLES: Dict[str, str] = {
+    module.EXPERIMENT_ID: module.TITLE for module in _MODULES
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids, in presentation order."""
+    return [module.EXPERIMENT_ID for module in _MODULES]
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"E7"``)."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(experiment_ids())}"
+        )
+    return REGISTRY[key](config)
+
+
+def run_all(config: ExperimentConfig) -> List[ExperimentResult]:
+    """Run the full suite in order."""
+    return [run_experiment(eid, config) for eid in experiment_ids()]
+
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Check",
+    "REGISTRY",
+    "TITLES",
+    "experiment_ids",
+    "run_experiment",
+    "run_all",
+]

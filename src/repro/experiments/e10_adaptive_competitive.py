@@ -1,0 +1,193 @@
+"""E10 — Theorem 11: adaptivity costs Bins*/Bins(k) at most a factor 4.
+
+The reduction in §9 shows the worst adaptive adversary against the
+symmetric algorithms behaves like a semi-adaptive follower ``fol(S)``:
+replay a demand sequence, stop the moment a collision occurs (early
+stops shrink the denominator ``E[p*(D)]``, inflating the ratio). The
+resulting competitive ratio exceeds the best *oblivious* ratio along
+the sequence by at most 4.
+
+We play ``fol(S)`` for a portfolio of demand sequences against ``Bins*``
+and ``Bins(16)``:
+
+* numerator ``p_A(fol(S))`` is computed **exactly** (stopping early
+  never prevents the collision that triggers it, so it equals the
+  oblivious collision probability of the full profile);
+* denominator ``E_{D∼fol(S)}[p*(D)]`` is estimated from the realized
+  stopping profiles of seeded Monte-Carlo games;
+* the reference is the maximal oblivious ratio over the sequence's
+  prefix profiles (the quantity Theorem 11's proof compares against).
+
+Shape check: measured adaptive ratio ≤ 4 × the prefix-maximal oblivious
+ratio (with Monte-Carlo slack).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Callable, List, Tuple
+
+from repro.adversary.base import Adversary
+from repro.adversary.profiles import DemandProfile
+from repro.adversary.semi_adaptive import DemandSequence, FollowerAdversary
+from repro.analysis.exact import (
+    bins_collision_probability,
+    bins_star_collision_probability,
+)
+from repro.analysis.optimal import p_star_lower_bound
+from repro.core.bins import BinsGenerator
+from repro.core.bins_star import BinsStarGenerator
+from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.simulation.game import Game
+from repro.simulation.seeds import derive_seed
+
+EXPERIMENT_ID = "E10"
+TITLE = "Adaptive vs oblivious competitive ratio (Theorem 11)"
+CLAIM = (
+    "for Bins* and Bins(k), the adaptive competitive ratio is at most "
+    "4× the oblivious one"
+)
+
+
+def _sequences(quick: bool) -> List[Tuple[str, DemandSequence]]:
+    portfolio = [
+        (
+            "uniform rr n=8 h=64",
+            DemandSequence.from_profile(
+                DemandProfile.uniform(8, 64), order="round_robin"
+            ),
+        ),
+        (
+            "skewed seq (256,16,16,16)",
+            DemandSequence.from_profile(
+                DemandProfile.of(256, 16, 16, 16), order="sequential"
+            ),
+        ),
+    ]
+    if not quick:
+        portfolio.append(
+            (
+                "uniform seq n=16 h=32",
+                DemandSequence.from_profile(
+                    DemandProfile.uniform(16, 32), order="sequential"
+                ),
+            )
+        )
+        portfolio.append(
+            (
+                "pairs rr (128,128)",
+                DemandSequence.from_profile(
+                    DemandProfile.of(128, 128), order="round_robin"
+                ),
+            )
+        )
+    return portfolio
+
+
+def _prefix_profiles(sequence: DemandSequence, samples: int):
+    """A sample of the nontrivial prefix profiles along the sequence."""
+    counts = [0] * sequence.num_instances
+    profiles = []
+    for index, instance in enumerate(sequence.steps):
+        counts[instance] += 1
+        actives = [c for c in counts if c > 0]
+        if len(actives) >= 2:
+            profiles.append(DemandProfile(tuple(actives)))
+    if len(profiles) <= samples:
+        return profiles
+    stride = len(profiles) // samples
+    sampled = profiles[::stride]
+    if profiles[-1] is not sampled[-1]:
+        sampled.append(profiles[-1])
+    return sampled
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    m = 1 << 14
+    trials = config.trials(800)
+    algorithms: List[
+        Tuple[str, Callable, Callable[[DemandProfile], Fraction]]
+    ] = [
+        (
+            "bins*",
+            lambda mm, rr: BinsStarGenerator(mm, rr),
+            lambda D: bins_star_collision_probability(m, D),
+        ),
+        (
+            "bins(16)",
+            lambda mm, rr: BinsGenerator(mm, 16, rr),
+            lambda D: bins_collision_probability(m, 16, D),
+        ),
+    ]
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=[
+            "algorithm", "sequence", "p_A (exact)", "E[p*] adaptive",
+            "adaptive ratio", "oblivious ratio (max prefix)", "factor",
+        ],
+    )
+    for algo_name, factory, p_exact in algorithms:
+        for seq_name, sequence in _sequences(config.quick):
+            full_profile = sequence.final_profile()
+            numerator = float(p_exact(full_profile))
+            # Oblivious reference: best ratio along the prefixes.
+            oblivious_ratio = 0.0
+            for prefix in _prefix_profiles(sequence, samples=12):
+                denominator = float(p_star_lower_bound(m, prefix))
+                if denominator > 0:
+                    oblivious_ratio = max(
+                        oblivious_ratio,
+                        float(p_exact(prefix)) / denominator,
+                    )
+            # Adaptive denominator from realized stopping profiles.
+            realized_p_star: List[float] = []
+            for trial in range(trials):
+                adversary: Adversary = FollowerAdversary(
+                    DemandSequence(sequence.steps),
+                    stop_immediately_on_collision=True,
+                )
+                game = Game(
+                    factory,
+                    m,
+                    adversary,
+                    seed=derive_seed(config.seed, trial),
+                    stop_on_collision=False,  # follower stops itself
+                )
+                outcome = game.run()
+                realized_p_star.append(
+                    float(p_star_lower_bound(m, outcome.profile))
+                )
+            adaptive_denominator = sum(realized_p_star) / len(
+                realized_p_star
+            )
+            adaptive_ratio = numerator / adaptive_denominator
+            factor = (
+                adaptive_ratio / oblivious_ratio
+                if oblivious_ratio > 0
+                else float("inf")
+            )
+            result.rows.append(
+                {
+                    "algorithm": algo_name,
+                    "sequence": seq_name,
+                    "p_A (exact)": numerator,
+                    "E[p*] adaptive": adaptive_denominator,
+                    "adaptive ratio": adaptive_ratio,
+                    "oblivious ratio (max prefix)": oblivious_ratio,
+                    "factor": factor,
+                }
+            )
+            result.add_check(
+                f"{algo_name} / {seq_name}: factor <= 4",
+                factor <= 4.0 * 1.5,  # Theorem 11's 4 with MC slack
+                f"measured factor {factor:.2f}",
+            )
+    result.notes.append(
+        f"m = 2^14, {trials} follower games per cell. Early stopping on "
+        "collision is the only adaptive behaviour — exactly the fol(S) "
+        "reduction of the Theorem 11 proof."
+    )
+    return result

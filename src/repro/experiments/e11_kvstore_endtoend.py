@@ -1,0 +1,164 @@
+"""E11 — the §1 motivation, end to end: ID collisions corrupt caches.
+
+Runs the full distributed substrate — n MiniRocks nodes, YCSB-B traffic,
+periodic SST migrations, one shared block cache — with a deliberately
+tiny ID universe so collisions happen at laptop scale, comparing the
+UUIDP algorithms as the file-ID source. Measured per algorithm:
+
+* how many file IDs the fleet minted, and how many collided
+  (the UUIDP event itself);
+* how many reads consulted a wrong-file cache block, and how many
+  returned provably wrong results (the corruption the paper's RocksDB
+  deployment guards against);
+* agreement of the measured ID-collision rate with the paper's formula
+  for that algorithm (Random: birthday in total IDs; Cluster: n·d/m).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import (
+    cluster_collision_probability,
+    random_collision_probability,
+)
+from repro.distributed.cluster import ClusterSimulator
+from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.kvstore.options import Options
+from repro.simulation.seeds import derive_seed
+from repro.workloads.ycsb import WorkloadSpec, full_workload
+
+EXPERIMENT_ID = "E11"
+TITLE = "End-to-end cache corruption in the KV cluster (§1 motivation)"
+CLAIM = (
+    "uncoordinated file-ID collisions manifest as silent cache "
+    "corruption once SSTs migrate; Cluster reduces them by ~d/n vs Random"
+)
+
+ALGORITHMS = ["random", "cluster", "bins_star"]
+
+
+def _run_fleet(
+    algorithm: str, m: int, nodes: int, spec: WorkloadSpec, seed: int
+) -> Dict[str, float]:
+    def options() -> Options:
+        return Options(
+            memtable_entries=16,
+            block_entries=8,
+            level0_file_limit=3,
+            id_universe=m,
+            id_algorithm=algorithm,
+            bloom_bits_per_key=0,  # force block reads through the cache
+        )
+
+    sim = ClusterSimulator(nodes, options, cache_blocks=4096, seed=seed)
+    workload = full_workload(spec, random.Random(derive_seed(seed, 0xE11)))
+    sim.run_workload(workload, rebalance_every=250, moves_per_rebalance=2)
+    sim.flush_all()
+    report = sim.report()
+    return {
+        "ids_minted": report.audit.total_ids_assigned,
+        "id_collisions": report.audit.collision_count,
+        "corrupt_block_reads": report.corrupt_block_reads,
+        "corrupt_results": report.corrupt_results,
+        "migrations": report.migrations,
+        "hit_rate": report.cache_hit_rate,
+    }
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    m = 1 << 13
+    nodes = 6
+    spec = WorkloadSpec(
+        workload="a",  # 50% updates: plenty of flushes and compactions
+        record_count=600 if config.quick else 1200,
+        operation_count=2500 if config.quick else 9000,
+        value_size=24,
+    )
+    repeats = 3 if config.quick else 8
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        columns=[
+            "algorithm", "ids minted", "id collisions",
+            "corrupt block reads", "corrupt results", "migrations",
+            "cache hit rate", "collision runs",
+        ],
+    )
+    collision_runs: Dict[str, int] = {}
+    totals: Dict[str, Dict[str, float]] = {}
+    corruption_without_collision_runs = 0
+    for algorithm in ALGORITHMS:
+        runs_with_collision = 0
+        accumulated: Dict[str, float] = {}
+        for repeat in range(repeats):
+            metrics = _run_fleet(
+                algorithm, m, nodes, spec,
+                seed=derive_seed(config.seed, repeat),
+            )
+            if metrics["id_collisions"] > 0:
+                runs_with_collision += 1
+            elif metrics["corrupt_block_reads"] > 0:
+                corruption_without_collision_runs += 1
+            for key, value in metrics.items():
+                accumulated[key] = accumulated.get(key, 0.0) + value
+        averaged = {k: v / repeats for k, v in accumulated.items()}
+        collision_runs[algorithm] = runs_with_collision
+        totals[algorithm] = averaged
+        result.rows.append(
+            {
+                "algorithm": algorithm,
+                "ids minted": averaged["ids_minted"],
+                "id collisions": averaged["id_collisions"],
+                "corrupt block reads": averaged["corrupt_block_reads"],
+                "corrupt results": averaged["corrupt_results"],
+                "migrations": averaged["migrations"],
+                "cache hit rate": averaged["hit_rate"],
+                "collision runs": f"{runs_with_collision}/{repeats}",
+            }
+        )
+    # Shape: Random should collide in (nearly) every run at this scale,
+    # Cluster in (nearly) none, and corruption only follows collision.
+    d_total = int(totals["random"]["ids_minted"])
+    predicted_random = float(
+        random_collision_probability(
+            m, DemandProfile((max(1, d_total // nodes),) * nodes)
+        )
+    )
+    predicted_cluster = float(
+        cluster_collision_probability(
+            m, DemandProfile((max(1, d_total // nodes),) * nodes)
+        )
+    )
+    result.add_check(
+        "random collides about as often as the birthday bound predicts",
+        abs(collision_runs["random"] / repeats - predicted_random) <= 0.5,
+        f"measured {collision_runs['random']}/{repeats}, "
+        f"exact p_Random={predicted_random:.3f}",
+    )
+    result.add_check(
+        "cluster collides far less than random (Cor 4)",
+        collision_runs["cluster"] <= collision_runs["random"]
+        and predicted_cluster < predicted_random,
+        f"cluster {collision_runs['cluster']}/{repeats} vs random "
+        f"{collision_runs['random']}/{repeats} "
+        f"(exact: {predicted_cluster:.3f} vs {predicted_random:.3f})",
+    )
+    result.add_check(
+        "corruption only ever follows an ID collision",
+        corruption_without_collision_runs == 0,
+        f"{corruption_without_collision_runs} collision-free runs "
+        "showed corrupt reads",
+    )
+    result.notes.append(
+        f"m = 2^13 (deliberately tiny so collisions are observable), "
+        f"{nodes} nodes, YCSB-A with migrations every 250 ops, "
+        f"{repeats} seeded runs per algorithm, metrics averaged. Note "
+        "Bins* collides most here: at this load every instance reaches "
+        "the last chunks, where only a handful of large bins exist — "
+        "Bins* buys competitive optimality, not worst-case optimality."
+    )
+    return result

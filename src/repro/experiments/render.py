@@ -1,0 +1,167 @@
+"""Terminal rendering helpers for experiment results.
+
+The paper's "figures" are parameter sweeps; in a terminal the closest
+faithful rendering is a log-scale ASCII chart. :func:`ascii_chart`
+draws one or more series against a shared x-axis (both axes log-scaled
+by default, matching how the paper's bounds are read), and
+:func:`result_to_json` exports an :class:`ExperimentResult` for CI
+dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.framework import ExperimentResult
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render series as an ASCII scatter chart.
+
+    Non-positive points are dropped on log axes. Each series gets the
+    next marker from ``oax+*...``; a legend line maps markers to names.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small to be readable")
+
+    def transform(value: float, log: bool) -> Optional[float]:
+        if log:
+            if value <= 0:
+                return None
+            return math.log10(value)
+        return value
+
+    points_by_series: Dict[str, List] = {}
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for name, y_values in series.items():
+        points = []
+        for x, y in zip(x_values, y_values):
+            tx = transform(x, log_x)
+            ty = transform(y, log_y)
+            if tx is None or ty is None:
+                continue
+            points.append((tx, ty))
+            all_x.append(tx)
+            all_y.append(ty)
+        points_by_series[name] = points
+    if not all_x:
+        return f"{title}\n(no positive data to draw)"
+    min_x, max_x = min(all_x), max(all_x)
+    min_y, max_y = min(all_y), max(all_y)
+    span_x = max_x - min_x or 1.0
+    span_y = max_y - min_y or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(points_by_series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for tx, ty in points:
+            column = round((tx - min_x) / span_x * (width - 1))
+            row = round((ty - min_y) / span_y * (height - 1))
+            grid[height - 1 - row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10**max_y:.2g}" if log_y else f"{max_y:.3g}"
+    y_bottom = f"{10**min_y:.2g}" if log_y else f"{min_y:.3g}"
+    label_width = max(len(y_top), len(y_bottom))
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = y_top
+        elif row_index == height - 1:
+            label = y_bottom
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    x_left = f"{10**min_x:.2g}" if log_x else f"{min_x:.3g}"
+    x_right = f"{10**max_x:.2g}" if log_x else f"{max_x:.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_width
+        + "  "
+        + x_left
+        + " " * max(1, width - len(x_left) - len(x_right))
+        + x_right
+    )
+    legend = "  ".join(
+        f"{_MARKERS[index % len(_MARKERS)]}={name}"
+        for index, name in enumerate(points_by_series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def chart_from_result(
+    result: ExperimentResult,
+    x_column: str,
+    y_columns: Sequence[str],
+    **chart_kwargs,
+) -> str:
+    """Chart selected numeric columns of a result table."""
+    rows = [
+        row
+        for row in result.rows
+        if isinstance(row.get(x_column), (int, float))
+    ]
+    if not rows:
+        raise ConfigurationError(
+            f"no numeric rows for x column {x_column!r}"
+        )
+    x_values = [float(row[x_column]) for row in rows]
+    series = {}
+    for column in y_columns:
+        series[column] = [
+            float(row[column])
+            if isinstance(row.get(column), (int, float))
+            else float("nan")
+            for row in rows
+        ]
+    title = chart_kwargs.pop(
+        "title", f"{result.experiment_id}: {x_column} vs "
+        + ", ".join(y_columns)
+    )
+    return ascii_chart(x_values, series, title=title, **chart_kwargs)
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """Serialize a result (rows, checks, notes) as pretty JSON."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "claim": result.claim,
+        "columns": result.columns,
+        "rows": [
+            {
+                key: value
+                for key, value in row.items()
+                if not key.startswith("_")
+                and isinstance(value, (int, float, str, bool, type(None)))
+            }
+            for row in result.rows
+        ],
+        "checks": [
+            {
+                "name": check.name,
+                "passed": check.passed,
+                "detail": check.detail,
+            }
+            for check in result.checks
+        ],
+        "notes": result.notes,
+        "all_passed": result.all_passed,
+    }
+    return json.dumps(payload, indent=2)

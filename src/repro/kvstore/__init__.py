@@ -1,0 +1,45 @@
+"""MiniRocks: the RocksDB-style LSM substrate motivating the paper (§1)."""
+
+from repro.kvstore.blockcache import BlockCache, CacheStats
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.compaction import (
+    CompactionJob,
+    level_file_budget,
+    merge_tables,
+    pick_compaction,
+    run_compaction,
+)
+from repro.kvstore.db import DBStats, MiniRocks
+from repro.kvstore.iterators import LSMIterator, iterate_db, range_count
+from repro.kvstore.manifest import Manifest, VersionEdit
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.options import Options, generator_factory_from_spec
+from repro.kvstore.sstable import Block, SSTable
+from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+__all__ = [
+    "MiniRocks",
+    "DBStats",
+    "LSMIterator",
+    "iterate_db",
+    "range_count",
+    "Options",
+    "generator_factory_from_spec",
+    "BlockCache",
+    "CacheStats",
+    "BloomFilter",
+    "MemTable",
+    "TOMBSTONE",
+    "SSTable",
+    "Block",
+    "Manifest",
+    "VersionEdit",
+    "WriteAheadLog",
+    "OP_PUT",
+    "OP_DELETE",
+    "CompactionJob",
+    "pick_compaction",
+    "run_compaction",
+    "merge_tables",
+    "level_file_budget",
+]

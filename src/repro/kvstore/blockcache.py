@@ -1,0 +1,110 @@
+"""Shared LRU block cache keyed by ``(file_id, block_no)``.
+
+This is the component the paper's RocksDB deployment motivates: the
+cache is **shared across store instances** (and across nodes, in the
+cluster simulator), and its key embeds the *uncoordinated* file ID. If
+two distinct SSTs share a file ID, a lookup for one can be served a
+block belonging to the other. The cache cannot tell — only the auditor
+(which checks the ground-truth ``owner_fingerprint``) can.
+
+Real deployments add a generation/offset component that may mask some
+collisions; we key purely by (file_id, block_no) to expose exactly the
+failure mode the paper's probability bounds are about.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.kvstore.sstable import Block
+
+CacheKey = Tuple[int, int]  # (file_id, block_no)
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    #: Hits whose block belonged to a *different* SST than the reader's
+    #: (ground truth — only observable because this is a simulator).
+    cross_file_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BlockCache:
+    """A strict-LRU cache of data blocks with collision instrumentation."""
+
+    def __init__(self, capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ConfigurationError("cache capacity must be >= 1 block")
+        self.capacity = capacity_blocks
+        self._blocks: "OrderedDict[CacheKey, Block]" = OrderedDict()
+        self.stats = CacheStats()
+        #: (file_id, expected_fingerprint, found_fingerprint) audit log.
+        self.collision_log: List[Tuple[int, int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(
+        self, file_id: int, block_no: int, expected_fingerprint: int
+    ) -> Optional[Block]:
+        """Look up a block; record a cross-file hit if ownership differs.
+
+        The returned block is whatever the cache holds under the key —
+        including a wrong file's block. Callers decide whether to trust
+        it (silent-corruption mode) or verify (paranoid mode).
+        """
+        key = (file_id, block_no)
+        block = self._blocks.get(key)
+        if block is None:
+            self.stats.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.stats.hits += 1
+        if block.owner_fingerprint != expected_fingerprint:
+            self.stats.cross_file_hits += 1
+            self.collision_log.append(
+                (file_id, expected_fingerprint, block.owner_fingerprint)
+            )
+        return block
+
+    def put(self, file_id: int, block_no: int, block: Block) -> None:
+        """Insert a block, evicting LRU entries beyond capacity."""
+        key = (file_id, block_no)
+        self._blocks[key] = block
+        self._blocks.move_to_end(key)
+        self.stats.insertions += 1
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+            self.stats.evictions += 1
+
+    def evict_file(self, file_id: int) -> int:
+        """Drop all cached blocks of ``file_id``; returns the count.
+
+        Called when a file is deleted by compaction. Note this cannot
+        repair a collision: blocks of the *other* same-ID file vanish
+        too (exactly the cache-churn symptom RocksDB observed).
+        """
+        doomed = [key for key in self._blocks if key[0] == file_id]
+        for key in doomed:
+            del self._blocks[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept)."""
+        self._blocks.clear()

@@ -1,0 +1,74 @@
+"""Bloom filter for SST point lookups.
+
+Standard Bloom filter with the Kirsch–Mitzenmacher double-hashing
+scheme: two independent 64-bit hashes ``h1, h2`` derived from
+``blake2b`` simulate ``k`` hash functions as ``h1 + i·h2``. This is the
+same construction RocksDB's full-filter blocks use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_pair(key: bytes) -> tuple:
+    digest = hashlib.blake2b(key, digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:], "little") | 1,  # odd => full cycle
+    )
+
+
+class BloomFilter:
+    """Fixed-size bit array sized from bits-per-key at build time."""
+
+    def __init__(self, num_keys: int, bits_per_key: int):
+        if num_keys < 0:
+            raise ConfigurationError("num_keys must be >= 0")
+        if bits_per_key < 1:
+            raise ConfigurationError("bits_per_key must be >= 1")
+        self.num_bits = max(64, num_keys * bits_per_key)
+        # Optimal k = ln2 * bits/key, clamped to [1, 30] like RocksDB.
+        self.num_probes = min(30, max(1, round(0.69 * bits_per_key)))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of keys added."""
+        return self._count
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key`` into the filter."""
+        h1, h2 = _hash_pair(key)
+        for i in range(self.num_probes):
+            bit = (h1 + i * h2) % self.num_bits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self._count += 1
+
+    def add_all(self, keys: Iterable[bytes]) -> None:
+        """Insert every key from ``keys``."""
+        for key in keys:
+            self.add(key)
+
+    def may_contain(self, key: bytes) -> bool:
+        """False ⇒ definitely absent; True ⇒ probably present."""
+        h1, h2 = _hash_pair(key)
+        for i in range(self.num_probes):
+            bit = (h1 + i * h2) % self.num_bits
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def expected_false_positive_rate(self) -> float:
+        """Theoretical FP rate for the current load."""
+        if self._count == 0:
+            return 0.0
+        exponent = -self.num_probes * self._count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_probes

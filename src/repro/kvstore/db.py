@@ -1,0 +1,296 @@
+"""MiniRocks — the LSM key-value store facade.
+
+A faithful miniature of the RocksDB data path the paper describes:
+writes land in a WAL + memtable, flushes build SSTs whose **file IDs
+come from an uncoordinated UUIDP generator**, reads consult the
+memtable, then per-level SST candidates through a (possibly shared)
+block cache keyed by ``(file_id, block_no)``.
+
+When the cache is shared with other store instances and file IDs
+collide, reads can be served another file's blocks. With
+``paranoid_checks`` the store raises
+:class:`~repro.errors.CorruptionDetectedError`; otherwise it behaves
+like a real system — the wrong block is consulted silently and the
+read returns wrong data or a spurious miss (counted in stats).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import CorruptionDetectedError, KVStoreError
+from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.compaction import pick_compaction, run_compaction
+from repro.kvstore.manifest import Manifest
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.options import Options
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.wal import WriteAheadLog
+
+
+@dataclass
+class DBStats:
+    """Operational counters for one MiniRocks instance."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    bloom_negative: int = 0
+    sst_reads: int = 0
+    #: Reads that consulted a block owned by a different SST (ground
+    #: truth from the auditor) — the paper's collision symptom.
+    corrupt_block_reads: int = 0
+    #: Reads whose *returned value* was provably wrong or wrongly
+    #: missing because of a cross-file block.
+    corrupt_results: int = 0
+
+
+class MiniRocks:
+    """One uncoordinated store instance.
+
+    Parameters
+    ----------
+    options:
+        Tuning and the ID-generation algorithm choice.
+    cache:
+        The block cache. Pass a shared instance to model the paper's
+        multi-instance deployment; defaults to a private 4096-block one.
+    rng:
+        Randomness for the ID generator (seed for reproducibility).
+    name:
+        Label used in repr/audits.
+    """
+
+    def __init__(
+        self,
+        options: Optional[Options] = None,
+        cache: Optional[BlockCache] = None,
+        rng: Optional[random.Random] = None,
+        name: str = "db",
+    ):
+        self.options = options if options is not None else Options()
+        self.cache = cache if cache is not None else BlockCache(4096)
+        self.name = name
+        self._rng = rng if rng is not None else random.Random()
+        assert self.options.id_generator_factory is not None
+        self._id_generator = self.options.id_generator_factory(self._rng)
+        self.memtable = MemTable()
+        self.wal = WriteAheadLog() if self.options.use_wal else None
+        self.manifest = Manifest(self.options.num_levels)
+        self.stats = DBStats()
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``; may trigger flush + compaction."""
+        if self.wal is not None:
+            self.wal.append_put(key, value)
+        self.memtable.put(key, value)
+        self.stats.puts += 1
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        """Delete ``key`` (writes a tombstone)."""
+        if self.wal is not None:
+            self.wal.append_delete(key)
+        self.memtable.delete(key)
+        self.stats.deletes += 1
+        self._maybe_flush()
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup: memtable first, then SSTs newest-first."""
+        self.stats.gets += 1
+        buffered = self.memtable.get(key)
+        if buffered is not None:
+            return None if buffered == TOMBSTONE else buffered
+        for _level, sst in self.manifest.candidates_for_key(key):
+            found, value = self._lookup_in_sst(sst, key)
+            if found:
+                return None if value == TOMBSTONE else value
+        return None
+
+    def multi_get(self, keys: List[bytes]) -> List[Optional[bytes]]:
+        """Point lookups for many keys."""
+        return [self.get(key) for key in keys]
+
+    def scan(
+        self, start: bytes, end: bytes, limit: Optional[int] = None
+    ) -> List[Tuple[bytes, bytes]]:
+        """Range scan over ``[start, end)``, newest version per key.
+
+        Scans merge memtable and all live SSTs directly (bypassing the
+        cache — scans in the real system use their own readahead path).
+        """
+        if start >= end:
+            return []
+        winners = {}
+        # Oldest sources first so newer sources overwrite.
+        for level_index in range(self.manifest.num_levels - 1, 0, -1):
+            for sst in self.manifest.level(level_index):
+                self._collect_range(sst, start, end, winners)
+        for sst in reversed(self.manifest.level(0)):  # oldest L0 first
+            self._collect_range(sst, start, end, winners)
+        for key, value in self.memtable.sorted_entries():
+            if start <= key < end:
+                winners[key] = value
+        result = [
+            (key, value)
+            for key, value in sorted(winners.items())
+            if value != TOMBSTONE
+        ]
+        if limit is not None:
+            result = result[:limit]
+        return result
+
+    @staticmethod
+    def _collect_range(sst: SSTable, start: bytes, end: bytes, out: dict) -> None:
+        if sst.max_key < start or sst.min_key >= end:
+            return
+        for key, value in sst.iter_entries():
+            if start <= key < end:
+                out[key] = value
+
+    def _lookup_in_sst(
+        self, sst: SSTable, key: bytes
+    ) -> Tuple[bool, Optional[bytes]]:
+        """Cache-mediated point lookup in one SST.
+
+        Returns ``(found, value)``; ``found`` is True when the consulted
+        block contained the key (so the search must stop at this level).
+        """
+        if sst.bloom is not None and not sst.bloom.may_contain(key):
+            self.stats.bloom_negative += 1
+            return False, None
+        block_no = sst.block_for_key(key)
+        if block_no is None:
+            return False, None
+        self.stats.sst_reads += 1
+        block = self.cache.get(sst.file_id, block_no, sst.fingerprint)
+        if block is None:
+            block = sst.blocks[block_no]
+            self.cache.put(sst.file_id, block_no, block)
+        if block.owner_fingerprint != sst.fingerprint:
+            # The cache served another file's block (ID collision).
+            self.stats.corrupt_block_reads += 1
+            if self.options.paranoid_checks:
+                raise CorruptionDetectedError(
+                    f"{self.name}: cache served block of fingerprint "
+                    f"{block.owner_fingerprint} for file_id={sst.file_id} "
+                    f"(expected {sst.fingerprint})"
+                )
+            value = block.get(key)
+            true_value = sst.blocks[block_no].get(key)
+            if value != true_value:
+                self.stats.corrupt_results += 1
+            # Realistic silent behaviour: trust the wrong block.
+            return value is not None, value
+        value = block.get(key)
+        return value is not None, value
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        if len(self.memtable) >= self.options.memtable_entries:
+            self.flush()
+
+    def flush(self) -> Optional[SSTable]:
+        """Write the memtable out as a new L0 SST with a fresh file ID."""
+        if len(self.memtable) == 0:
+            return None
+        entries = list(self.memtable.sorted_entries())
+        sst = self._build_sst(entries)
+        self.manifest.add_file(0, sst)
+        self.memtable.clear()
+        if self.wal is not None:
+            self.wal.truncate()
+        self.stats.flushes += 1
+        self._maybe_compact()
+        return sst
+
+    def _build_sst(self, entries) -> SSTable:
+        file_id = self._id_generator.next_id()
+        return SSTable.from_entries(
+            file_id=file_id,
+            entries=entries,
+            block_entries=self.options.block_entries,
+            bloom_bits_per_key=self.options.bloom_bits_per_key,
+        )
+
+    def _maybe_compact(self) -> None:
+        while True:
+            job = pick_compaction(self.manifest, self.options)
+            if job is None:
+                return
+            run_compaction(
+                self.manifest,
+                self.options,
+                job,
+                build_sst=self._build_sst,
+                on_file_dropped=lambda sst: self.cache.evict_file(
+                    sst.file_id
+                ),
+            )
+            self.stats.compactions += 1
+
+    def compact_all(self) -> None:
+        """Force compactions until every level is within budget."""
+        self._maybe_compact()
+
+    def ingest_external(self, entries) -> SSTable:
+        """Bulk-load a sorted batch as one SST, bypassing the memtable.
+
+        This is RocksDB's ingest-external-file path: the new file gets
+        a **fresh uncoordinated ID** from this instance's generator
+        (unlike migration, which moves a file *with* its original ID —
+        the distinction that makes cross-instance uniqueness a global,
+        not per-node, requirement). Entries must be strictly ascending
+        by key.
+        """
+        entries = list(entries)
+        if not entries:
+            raise KVStoreError("cannot ingest an empty batch")
+        sst = self._build_sst(entries)
+        self.manifest.add_file(0, sst)
+        self._maybe_compact()
+        return sst
+
+    def recover_from_wal(self, payload: bytes) -> int:
+        """Replay a serialized WAL into the memtable (crash recovery).
+
+        Returns the number of records applied.
+        """
+        if self.wal is None:
+            raise KVStoreError("store was configured without a WAL")
+        recovered = WriteAheadLog.deserialize(payload)
+        applied = 0
+        from repro.kvstore.wal import OP_PUT
+
+        for op, key, value in recovered.records():
+            if op == OP_PUT:
+                self.memtable.put(key, value)
+            else:
+                self.memtable.delete(key)
+            applied += 1
+        return applied
+
+    # -- introspection ---------------------------------------------------------
+
+    def live_file_ids(self) -> List[int]:
+        """IDs of all live SSTs."""
+        return [sst.file_id for _, sst in self.manifest.live_files()]
+
+    def assigned_file_ids(self) -> List[int]:
+        """Every file ID this instance ever assigned (flushes+compactions)."""
+        return list(self.manifest.assigned_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"MiniRocks({self.name!r}, files={self.manifest.file_count()}, "
+            f"memtable={len(self.memtable)})"
+        )

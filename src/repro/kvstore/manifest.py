@@ -1,0 +1,130 @@
+"""The manifest: which SSTs are live, at which level.
+
+A light-weight version of RocksDB's VERSION/MANIFEST machinery: an
+ordered record of *version edits* (file added / file removed at level
+L), with the current version materialized as per-level file lists.
+
+L0 files may overlap each other (they are flushed memtables, newest
+first); L1+ files are kept non-overlapping and sorted by min_key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import KVStoreError
+from repro.kvstore.sstable import SSTable
+
+
+@dataclass(frozen=True)
+class VersionEdit:
+    """One manifest record."""
+
+    action: str  # "add" | "remove"
+    level: int
+    file_id: int
+    fingerprint: int
+
+
+class Manifest:
+    """Tracks live files per level plus the full edit history."""
+
+    def __init__(self, num_levels: int):
+        if num_levels < 2:
+            raise KVStoreError("need at least 2 levels")
+        self.num_levels = num_levels
+        self._levels: List[List[SSTable]] = [[] for _ in range(num_levels)]
+        self._edits: List[VersionEdit] = []
+        #: Every file id this store ever assigned (for uniqueness audits).
+        self.assigned_ids: List[int] = []
+
+    # -- queries ----------------------------------------------------------
+
+    def level(self, index: int) -> List[SSTable]:
+        """Live files at ``index`` (L0 newest-first; L1+ sorted by key)."""
+        return list(self._levels[index])
+
+    def live_files(self) -> Iterator[Tuple[int, SSTable]]:
+        """All (level, sst) pairs, L0 first."""
+        for level_index, files in enumerate(self._levels):
+            for sst in files:
+                yield level_index, sst
+
+    def file_count(self, level: Optional[int] = None) -> int:
+        """Number of live files overall or at one level."""
+        if level is not None:
+            return len(self._levels[level])
+        return sum(len(files) for files in self._levels)
+
+    def total_entries(self) -> int:
+        """Sum of entry counts over all live files."""
+        return sum(sst.entry_count for _, sst in self.live_files())
+
+    def edits(self) -> List[VersionEdit]:
+        """The full edit history (oldest first)."""
+        return list(self._edits)
+
+    def candidates_for_key(self, key: bytes) -> Iterator[Tuple[int, SSTable]]:
+        """Files that may contain ``key``, newest data first.
+
+        L0 is scanned newest-to-oldest (all files, ranges overlap);
+        at L1+ at most one file per level can contain the key.
+        """
+        for sst in self._levels[0]:
+            if sst.key_in_range(key):
+                yield 0, sst
+        for level_index in range(1, self.num_levels):
+            for sst in self._levels[level_index]:
+                if sst.key_in_range(key):
+                    yield level_index, sst
+                    break  # non-overlapping: only one candidate per level
+
+    # -- edits -------------------------------------------------------------
+
+    def add_file(self, level: int, sst: SSTable, record_id: bool = True) -> None:
+        """Install ``sst`` at ``level``. L0 prepends (newest first);
+        L1+ inserts sorted and rejects overlap."""
+        self._check_level(level)
+        if level == 0:
+            self._levels[0].insert(0, sst)
+        else:
+            for existing in self._levels[level]:
+                if existing.overlaps(sst):
+                    raise KVStoreError(
+                        f"overlap at L{level}: {existing!r} vs {sst!r}"
+                    )
+            self._levels[level].append(sst)
+            self._levels[level].sort(key=lambda s: s.min_key)
+        self._edits.append(
+            VersionEdit("add", level, sst.file_id, sst.fingerprint)
+        )
+        if record_id:
+            self.assigned_ids.append(sst.file_id)
+
+    def remove_file(self, level: int, sst: SSTable) -> None:
+        """Remove a live file (by identity) from ``level``."""
+        self._check_level(level)
+        try:
+            self._levels[level].remove(sst)
+        except ValueError:
+            raise KVStoreError(
+                f"file {sst.file_id} not live at level {level}"
+            ) from None
+        self._edits.append(
+            VersionEdit("remove", level, sst.file_id, sst.fingerprint)
+        )
+
+    def detach_file(self, level: int, sst: SSTable) -> None:
+        """Remove for migration (the file lives on at another node)."""
+        self.remove_file(level, sst)
+
+    def attach_file(self, level: int, sst: SSTable) -> None:
+        """Install a migrated file; its ID was assigned elsewhere."""
+        self.add_file(level, sst, record_id=False)
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise KVStoreError(
+                f"level {level} out of range [0, {self.num_levels})"
+            )

@@ -1,0 +1,66 @@
+"""In-memory write buffer with tombstones.
+
+MiniRocks keeps recent writes in a :class:`MemTable`; deletes are
+recorded as tombstones so they can shadow older SST entries until
+compaction drops them. Keys and values are ``bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import KVStoreError
+
+#: Sentinel stored for deleted keys.
+TOMBSTONE: bytes = b"\x00__repro_tombstone__\x00"
+
+
+class MemTable:
+    """A mutable, unordered buffer; sorted only at flush time.
+
+    A hash map with deferred sorting is the right trade-off here: puts
+    and gets are O(1), and the O(k log k) sort is paid once per flush,
+    mirroring the skiplist-amortization argument real engines make.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def approximate_size(self) -> int:
+        """Bytes of keys+values currently buffered."""
+        return sum(len(k) + len(v) for k, v in self._entries.items())
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        _check_key(key)
+        if value == TOMBSTONE:
+            raise KVStoreError("value collides with the tombstone sentinel")
+        self._entries[key] = value
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone for ``key``."""
+        _check_key(key)
+        self._entries[key] = TOMBSTONE
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the buffered value, the tombstone, or None if absent."""
+        return self._entries.get(key)
+
+    def sorted_entries(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All entries (including tombstones) in ascending key order."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    def clear(self) -> None:
+        """Drop everything (after a successful flush)."""
+        self._entries.clear()
+
+
+def _check_key(key: bytes) -> None:
+    if not isinstance(key, bytes):
+        raise KVStoreError(f"keys must be bytes, got {type(key).__name__}")
+    if not key:
+        raise KVStoreError("empty keys are not allowed")

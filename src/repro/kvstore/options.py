@@ -1,0 +1,74 @@
+"""Configuration for the MiniRocks key-value store."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.base import IDGenerator
+from repro.core.registry import make_generator
+from repro.errors import ConfigurationError
+
+#: Builds the store's uncoordinated file-ID generator.
+IDGeneratorFactory = Callable[[random.Random], IDGenerator]
+
+
+def generator_factory_from_spec(
+    spec: str, m: int
+) -> IDGeneratorFactory:
+    """Adapt an algorithm spec (``"cluster"``, ``"random"``, ...) into a
+    factory suitable for :class:`Options.id_generator_factory`.
+    """
+    def factory(rng: random.Random) -> IDGenerator:
+        return make_generator(spec, m, rng)
+
+    return factory
+
+
+@dataclass
+class Options:
+    """Tuning knobs for one MiniRocks instance.
+
+    The defaults are sized for tests and simulations (hundreds of
+    thousands of keys), not production workloads.
+    """
+
+    #: Flush the memtable after this many live entries.
+    memtable_entries: int = 256
+    #: Entries per SST data block (the block cache granularity).
+    block_entries: int = 16
+    #: Trigger L0 → L1 compaction at this many L0 files.
+    level0_file_limit: int = 4
+    #: Max files in level L is ``level0_file_limit * multiplier**L``.
+    level_size_multiplier: int = 4
+    #: Total number of levels (L0 .. L_max).
+    num_levels: int = 5
+    #: Bloom filter bits per key (0 disables blooms).
+    bloom_bits_per_key: int = 10
+    #: Universe size for SST file IDs (the UUIDP ``m``).
+    id_universe: int = 1 << 64
+    #: Factory for the uncoordinated per-instance ID generator.
+    id_generator_factory: Optional[IDGeneratorFactory] = None
+    #: Algorithm spec used when no explicit factory is given.
+    id_algorithm: str = "cluster"
+    #: Raise on detected cache corruption instead of counting silently.
+    paranoid_checks: bool = False
+    #: Keep the write-ahead log (disable for bulk-load simulations).
+    use_wal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.memtable_entries < 1:
+            raise ConfigurationError("memtable_entries must be >= 1")
+        if self.block_entries < 1:
+            raise ConfigurationError("block_entries must be >= 1")
+        if self.level0_file_limit < 1:
+            raise ConfigurationError("level0_file_limit must be >= 1")
+        if self.num_levels < 2:
+            raise ConfigurationError("num_levels must be >= 2")
+        if self.id_universe < 2:
+            raise ConfigurationError("id_universe must be >= 2")
+        if self.id_generator_factory is None:
+            self.id_generator_factory = generator_factory_from_spec(
+                self.id_algorithm, self.id_universe
+            )

@@ -1,0 +1,202 @@
+"""Immutable sorted string tables (SSTs) and their data blocks.
+
+An SST is the unit that receives an **uncoordinated unique ID** — this
+is exactly the RocksDB deployment the paper's introduction describes.
+Block-cache entries are keyed by ``(file_id, block_no)``, so if two SSTs
+anywhere in the fleet ever share a ``file_id``, a reader of one file can
+be served a cached block of the other: silent corruption.
+
+Each SST also carries a ``fingerprint``: a process-global sequence
+number that is unique *by construction* (it is what a coordinated
+system would use). It exists purely as ground truth for the corruption
+auditor — the data path never routes by it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import KVStoreError
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.memtable import TOMBSTONE
+
+#: Process-global ground-truth sequence for corruption auditing.
+_fingerprint_counter = itertools.count(1)
+
+
+def _encode_entries(entries: Sequence[Tuple[bytes, bytes]]) -> bytes:
+    """Length-prefixed flat encoding of (key, value) pairs."""
+    parts: List[bytes] = []
+    for key, value in entries:
+        parts.append(len(key).to_bytes(4, "big"))
+        parts.append(key)
+        parts.append(len(value).to_bytes(4, "big"))
+        parts.append(value)
+    return b"".join(parts)
+
+
+def _decode_entries(payload: bytes) -> List[Tuple[bytes, bytes]]:
+    """Inverse of :func:`_encode_entries`."""
+    entries: List[Tuple[bytes, bytes]] = []
+    offset = 0
+    size = len(payload)
+    while offset < size:
+        if offset + 4 > size:
+            raise KVStoreError("truncated block payload (key length)")
+        key_len = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        key = payload[offset : offset + key_len]
+        offset += key_len
+        if offset + 4 > size:
+            raise KVStoreError("truncated block payload (value length)")
+        value_len = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        value = payload[offset : offset + value_len]
+        offset += value_len
+        if len(key) != key_len or len(value) != value_len:
+            raise KVStoreError("truncated block payload (record body)")
+        entries.append((key, value))
+    return entries
+
+
+@dataclass(frozen=True)
+class Block:
+    """One immutable data block: an encoded, sorted run of entries."""
+
+    payload: bytes
+    first_key: bytes
+    last_key: bytes
+    #: Ground-truth owner (SST fingerprint) for the corruption auditor.
+    owner_fingerprint: int
+    block_no: int
+
+    def entries(self) -> List[Tuple[bytes, bytes]]:
+        """Decode the block's (key, value) pairs."""
+        return _decode_entries(self.payload)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Binary-search the block for ``key``."""
+        entries = self.entries()
+        keys = [k for k, _ in entries]
+        index = bisect.bisect_left(keys, key)
+        if index < len(entries) and keys[index] == key:
+            return entries[index][1]
+        return None
+
+
+class SSTable:
+    """An immutable sorted file with index, bloom filter, and a file ID.
+
+    Build with :meth:`from_entries`; entries must be strictly
+    ascending by key (duplicates are a builder bug).
+    """
+
+    def __init__(
+        self,
+        file_id: int,
+        blocks: List[Block],
+        index_keys: List[bytes],
+        bloom: Optional[BloomFilter],
+        fingerprint: int,
+        entry_count: int,
+    ):
+        self.file_id = file_id
+        self.blocks = blocks
+        self._index_keys = index_keys  # last key of each block
+        self.bloom = bloom
+        self.fingerprint = fingerprint
+        self.entry_count = entry_count
+
+    @classmethod
+    def from_entries(
+        cls,
+        file_id: int,
+        entries: Sequence[Tuple[bytes, bytes]],
+        block_entries: int,
+        bloom_bits_per_key: int = 10,
+    ) -> "SSTable":
+        """Build an SST from a sorted, de-duplicated entry sequence."""
+        if not entries:
+            raise KVStoreError("cannot build an empty SSTable")
+        for (k1, _), (k2, _) in zip(entries, entries[1:]):
+            if k1 >= k2:
+                raise KVStoreError(
+                    f"entries must be strictly ascending: {k1!r} >= {k2!r}"
+                )
+        fingerprint = next(_fingerprint_counter)
+        blocks: List[Block] = []
+        index_keys: List[bytes] = []
+        for block_no, start in enumerate(range(0, len(entries), block_entries)):
+            chunk = list(entries[start : start + block_entries])
+            blocks.append(
+                Block(
+                    payload=_encode_entries(chunk),
+                    first_key=chunk[0][0],
+                    last_key=chunk[-1][0],
+                    owner_fingerprint=fingerprint,
+                    block_no=block_no,
+                )
+            )
+            index_keys.append(chunk[-1][0])
+        bloom = None
+        if bloom_bits_per_key > 0:
+            bloom = BloomFilter(len(entries), bloom_bits_per_key)
+            bloom.add_all(k for k, _ in entries)
+        return cls(
+            file_id=file_id,
+            blocks=blocks,
+            index_keys=index_keys,
+            bloom=bloom,
+            fingerprint=fingerprint,
+            entry_count=len(entries),
+        )
+
+    @property
+    def min_key(self) -> bytes:
+        return self.blocks[0].first_key
+
+    @property
+    def max_key(self) -> bytes:
+        return self.blocks[-1].last_key
+
+    def key_in_range(self, key: bytes) -> bool:
+        """Does ``key`` fall inside this file's [min_key, max_key]?"""
+        return self.min_key <= key <= self.max_key
+
+    def overlaps(self, other: "SSTable") -> bool:
+        """Do the key ranges of the two files intersect?"""
+        return self.min_key <= other.max_key and other.min_key <= self.max_key
+
+    def block_for_key(self, key: bytes) -> Optional[int]:
+        """Index of the block that may contain ``key``, or None."""
+        if not self.key_in_range(key):
+            return None
+        index = bisect.bisect_left(self._index_keys, key)
+        if index >= len(self.blocks):
+            return None
+        return index
+
+    def get_direct(self, key: bytes) -> Optional[bytes]:
+        """Point lookup bypassing any cache (always correct)."""
+        block_no = self.block_for_key(key)
+        if block_no is None:
+            return None
+        return self.blocks[block_no].get(key)
+
+    def iter_entries(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All entries in key order (tombstones included)."""
+        for block in self.blocks:
+            yield from block.entries()
+
+    def live_entry_count(self) -> int:
+        """Entries that are not tombstones."""
+        return sum(1 for _, v in self.iter_entries() if v != TOMBSTONE)
+
+    def __repr__(self) -> str:
+        return (
+            f"SSTable(id={self.file_id}, entries={self.entry_count}, "
+            f"range=[{self.min_key!r}..{self.max_key!r}])"
+        )

@@ -1,0 +1,83 @@
+"""Write-ahead log with serialization and replay.
+
+MiniRocks appends every mutation to a WAL before applying it to the
+memtable, and truncates the log at flush. The log serializes to bytes
+so crash-recovery tests can round-trip it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import KVStoreError
+
+#: Record kinds.
+OP_PUT = 1
+OP_DELETE = 2
+
+Record = Tuple[int, bytes, bytes]  # (op, key, value) — value empty for deletes
+
+
+class WriteAheadLog:
+    """An append-only in-memory log of (op, key, value) records."""
+
+    def __init__(self) -> None:
+        self._records: List[Record] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append_put(self, key: bytes, value: bytes) -> None:
+        """Log a put."""
+        self._records.append((OP_PUT, key, value))
+
+    def append_delete(self, key: bytes) -> None:
+        """Log a delete."""
+        self._records.append((OP_DELETE, key, b""))
+
+    def records(self) -> Iterator[Record]:
+        """All records in append order."""
+        return iter(self._records)
+
+    def truncate(self) -> None:
+        """Discard the log (after the memtable it covers was flushed)."""
+        self._records.clear()
+
+    def serialize(self) -> bytes:
+        """Flat binary encoding: op byte + length-prefixed key/value."""
+        parts: List[bytes] = []
+        for op, key, value in self._records:
+            parts.append(bytes([op]))
+            parts.append(len(key).to_bytes(4, "big"))
+            parts.append(key)
+            parts.append(len(value).to_bytes(4, "big"))
+            parts.append(value)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "WriteAheadLog":
+        """Rebuild a WAL from :meth:`serialize` output."""
+        wal = cls()
+        offset = 0
+        size = len(payload)
+        while offset < size:
+            op = payload[offset]
+            offset += 1
+            if op not in (OP_PUT, OP_DELETE):
+                raise KVStoreError(f"corrupt WAL: unknown op {op}")
+            if offset + 4 > size:
+                raise KVStoreError("corrupt WAL: truncated key length")
+            key_len = int.from_bytes(payload[offset : offset + 4], "big")
+            offset += 4
+            key = payload[offset : offset + key_len]
+            offset += key_len
+            if offset + 4 > size:
+                raise KVStoreError("corrupt WAL: truncated value length")
+            value_len = int.from_bytes(payload[offset : offset + 4], "big")
+            offset += 4
+            value = payload[offset : offset + value_len]
+            offset += value_len
+            if len(key) != key_len or len(value) != value_len:
+                raise KVStoreError("corrupt WAL: truncated record body")
+            wal._records.append((op, key, value))
+        return wal

@@ -1,0 +1,23 @@
+"""Game engine, Monte-Carlo estimation, and seed management."""
+
+from repro.simulation.game import Game, GameResult, play_profile
+from repro.simulation.montecarlo import (
+    Estimate,
+    estimate_collision_probability,
+    estimate_profile_collision,
+    wilson_interval,
+)
+from repro.simulation.seeds import derive_seed, rng_for, seed_stream
+
+__all__ = [
+    "Game",
+    "GameResult",
+    "play_profile",
+    "Estimate",
+    "estimate_collision_probability",
+    "estimate_profile_collision",
+    "wilson_interval",
+    "derive_seed",
+    "rng_for",
+    "seed_stream",
+]

@@ -1,0 +1,57 @@
+"""Deterministic seed derivation for reproducible experiments.
+
+All randomness in this package flows from explicit :class:`random.Random`
+instances. Experiments take one *root seed* and derive per-trial and
+per-instance seeds with :func:`derive_seed`, a SplitMix64-style mixer, so
+
+* any trial can be re-run in isolation given the root seed, and
+* instance RNGs are statistically independent even for adjacent seeds
+  (a plain ``seed + i`` scheme would correlate Mersenne-Twister streams
+  far less thoroughly than a 64-bit avalanche mixer).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+_MASK64 = (1 << 64) - 1
+
+# SplitMix64 constants (Steele, Lea, Flood 2014).
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 output step: full-avalanche 64-bit mix of ``x``."""
+    x = (x + _GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def derive_seed(root: int, *path: int) -> int:
+    """Derive a child seed from ``root`` and a tuple of path components.
+
+    The path is typically ``(trial_index, instance_index)``. Derivation is
+    associative-free by design: ``derive_seed(s, 1, 2)`` is unrelated to
+    ``derive_seed(s, 12)``.
+    """
+    state = _splitmix64(root & _MASK64)
+    for component in path:
+        state = _splitmix64(state ^ _splitmix64(component & _MASK64))
+    return state
+
+
+def rng_for(root: int, *path: int) -> random.Random:
+    """Return a fresh :class:`random.Random` seeded along ``path``."""
+    return random.Random(derive_seed(root, *path))
+
+
+def seed_stream(root: int, label: int = 0) -> Iterator[int]:
+    """Yield an unbounded stream of independent seeds under ``root``."""
+    index = 0
+    while True:
+        yield derive_seed(root, label, index)
+        index += 1

@@ -1,0 +1,45 @@
+"""Workload generators: YCSB-style KV traffic and UUIDP demand profiles."""
+
+from repro.workloads.demand import (
+    doubling_demand_sweep,
+    max_skew_profile,
+    random_compositions,
+    skewed_pair_grid,
+    uniform_profiles,
+    zipf_profiles,
+)
+from repro.workloads.distributions import (
+    KeyPicker,
+    LatestPicker,
+    ScrambledZipfianPicker,
+    UniformPicker,
+    ZipfianPicker,
+)
+from repro.workloads.ycsb import (
+    WorkloadSpec,
+    encode_key,
+    full_workload,
+    load_phase,
+    make_value,
+    run_phase,
+)
+
+__all__ = [
+    "KeyPicker",
+    "UniformPicker",
+    "ZipfianPicker",
+    "ScrambledZipfianPicker",
+    "LatestPicker",
+    "WorkloadSpec",
+    "encode_key",
+    "make_value",
+    "load_phase",
+    "run_phase",
+    "full_workload",
+    "uniform_profiles",
+    "skewed_pair_grid",
+    "random_compositions",
+    "zipf_profiles",
+    "max_skew_profile",
+    "doubling_demand_sweep",
+]

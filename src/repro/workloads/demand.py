@@ -1,0 +1,82 @@
+"""Demand-profile workload generators for UUIDP experiments.
+
+Produces the profile families each experiment sweeps over: uniform,
+maximally skewed, power-of-two grids (the Φ support), Zipf-shaped, and
+random compositions — all seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.adversary.profiles import (
+    DemandProfile,
+    sample_profile_d1,
+    zipf_profile,
+)
+from repro.errors import ProfileError
+
+
+def uniform_profiles(
+    n_values: List[int], h: int
+) -> Iterator[DemandProfile]:
+    """``(h,)*n`` for each requested ``n``."""
+    for n in n_values:
+        yield DemandProfile.uniform(n, h)
+
+
+def skewed_pair_grid(
+    max_exponent: int,
+) -> Iterator[Tuple[int, int, DemandProfile]]:
+    """All two-instance profiles ``(2^i, 2^j)`` with ``i ≤ j ≤ max_exponent``.
+
+    Yields ``(i, j, profile)`` — the grid of Theorem 10's Φ support and
+    of the Bins* competitive experiment.
+    """
+    if max_exponent < 0:
+        raise ProfileError("max_exponent must be >= 0")
+    for i in range(max_exponent + 1):
+        for j in range(i, max_exponent + 1):
+            yield i, j, DemandProfile.of(1 << i, 1 << j)
+
+
+def random_compositions(
+    n: int, d: int, count: int, seed: int
+) -> Iterator[DemandProfile]:
+    """``count`` uniform samples from ``D1(n, d)``."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield sample_profile_d1(n, d, rng)
+
+
+def zipf_profiles(
+    n: int, d: int, skews: List[float], seed: int
+) -> Iterator[Tuple[float, DemandProfile]]:
+    """One Zipf-shaped profile per requested skew."""
+    rng = random.Random(seed)
+    for skew in skews:
+        yield skew, zipf_profile(n, d, skew, rng)
+
+
+def max_skew_profile(n: int, d: int) -> DemandProfile:
+    """``(d−n+1, 1, ..., 1)`` — all excess demand on one instance.
+
+    This is the §3.4 example where ``Cluster`` is a factor Θ(d) from
+    optimal, motivating ``Bins*``.
+    """
+    if not 2 <= n <= d:
+        raise ProfileError(f"need 2 <= n <= d, got n={n}, d={d}")
+    return DemandProfile((d - n + 1,) + (1,) * (n - 1))
+
+
+def doubling_demand_sweep(
+    start: int, stop: int
+) -> Iterator[int]:
+    """``start, 2·start, 4·start, ...`` up to ``stop`` inclusive."""
+    if start < 1 or stop < start:
+        raise ProfileError(f"need 1 <= start <= stop")
+    value = start
+    while value <= stop:
+        yield value
+        value *= 2

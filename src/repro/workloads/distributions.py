@@ -1,0 +1,102 @@
+"""Key-popularity distributions for KV workloads.
+
+Implements the pickers YCSB uses: uniform, Zipfian (via the exact
+precomputed CDF — fine at the key-space sizes we simulate), scrambled
+Zipfian (decorrelates popularity from key order), and latest-biased.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import random
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class KeyPicker:
+    """Interface: pick an integer key index in ``[0, n)``."""
+
+    def pick(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class UniformPicker(KeyPicker):
+    """Uniform over ``[0, n)``."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError("n must be >= 1")
+        self.n = n
+
+    def pick(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+
+class ZipfianPicker(KeyPicker):
+    """Zipf(θ): rank ``r`` has weight ``1/r^θ``. Exact inverse-CDF."""
+
+    def __init__(self, n: int, theta: float = 0.99):
+        if n < 1:
+            raise ConfigurationError("n must be >= 1")
+        if theta <= 0:
+            raise ConfigurationError("theta must be > 0")
+        self.n = n
+        self.theta = theta
+        cdf: List[float] = []
+        cumulative = 0.0
+        for rank in range(1, n + 1):
+            cumulative += 1.0 / (rank**theta)
+            cdf.append(cumulative)
+        total = cdf[-1]
+        self._cdf = [c / total for c in cdf]
+
+    def pick(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+class ScrambledZipfianPicker(KeyPicker):
+    """Zipfian popularity hashed onto the key space (YCSB's default).
+
+    Without scrambling, hot keys are the lexicographically smallest,
+    which clusters them into few SSTs and understates cache pressure.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99):
+        self._zipf = ZipfianPicker(n, theta)
+        self.n = n
+
+    def pick(self, rng: random.Random) -> int:
+        rank = self._zipf.pick(rng)
+        digest = hashlib.blake2b(
+            rank.to_bytes(8, "little"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little") % self.n
+
+
+class LatestPicker(KeyPicker):
+    """Skewed toward recently inserted keys (YCSB workload D).
+
+    The caller advances :attr:`insert_count` as it inserts; picks are
+    Zipfian over recency.
+    """
+
+    def __init__(self, initial_count: int, theta: float = 0.99):
+        if initial_count < 1:
+            raise ConfigurationError("initial_count must be >= 1")
+        self.insert_count = initial_count
+        self.theta = theta
+
+    def pick(self, rng: random.Random) -> int:
+        # Re-derive a small Zipfian over the current window each pick;
+        # window capped so the CDF build stays O(1) amortized.
+        window = min(self.insert_count, 1024)
+        weights_total = sum(1.0 / (r**self.theta) for r in range(1, window + 1))
+        target = rng.random() * weights_total
+        cumulative = 0.0
+        for r in range(1, window + 1):
+            cumulative += 1.0 / (r**self.theta)
+            if target <= cumulative:
+                return self.insert_count - r
+        return self.insert_count - window

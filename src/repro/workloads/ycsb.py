@@ -1,0 +1,119 @@
+"""YCSB-style workload generators for the KV substrate.
+
+Generates streams of ``(op, key, value)`` tuples consumable by
+:meth:`repro.distributed.cluster.ClusterSimulator.run_workload` or a
+single :class:`~repro.kvstore.db.MiniRocks`. The standard mixes:
+
+====  ======================  =====================
+name  mix                     distribution
+====  ======================  =====================
+A     50% read / 50% update   zipfian
+B     95% read / 5% update    zipfian
+C     100% read               zipfian
+D     95% read / 5% insert    latest
+F     50% read / 50% RMW      zipfian (RMW = get+put)
+====  ======================  =====================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    LatestPicker,
+    ScrambledZipfianPicker,
+    UniformPicker,
+)
+
+Operation = Tuple[str, bytes, bytes]
+
+_MIXES = {
+    "a": (0.5, 0.0, 0.5, 0.0),
+    "b": (0.95, 0.0, 0.05, 0.0),
+    "c": (1.0, 0.0, 0.0, 0.0),
+    "d": (0.95, 0.05, 0.0, 0.0),
+    "f": (0.5, 0.0, 0.0, 0.5),
+}  # (read, insert, update, read-modify-write)
+
+
+def encode_key(index: int, width: int = 12) -> bytes:
+    """Fixed-width decimal key encoding (sortable, like YCSB's)."""
+    return b"user" + str(index).zfill(width).encode()
+
+
+def make_value(rng: random.Random, size: int = 32) -> bytes:
+    """A random printable value of ``size`` bytes."""
+    return bytes(rng.randrange(32, 127) for _ in range(size))
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of a YCSB-style run."""
+
+    workload: str = "b"
+    record_count: int = 1000
+    operation_count: int = 5000
+    value_size: int = 32
+    zipf_theta: float = 0.99
+    uniform: bool = False  # override zipfian with uniform picks
+
+
+def load_phase(
+    spec: WorkloadSpec, rng: random.Random
+) -> Iterator[Operation]:
+    """The initial bulk load: one put per record."""
+    for index in range(spec.record_count):
+        yield "put", encode_key(index), make_value(rng, spec.value_size)
+
+
+def run_phase(
+    spec: WorkloadSpec, rng: random.Random
+) -> Iterator[Operation]:
+    """The measured phase: the op mix over the loaded records."""
+    mix = _MIXES.get(spec.workload.lower())
+    if mix is None:
+        raise ConfigurationError(
+            f"unknown workload {spec.workload!r}; known: {sorted(_MIXES)}"
+        )
+    read_p, insert_p, update_p, rmw_p = mix
+    if spec.uniform:
+        picker = UniformPicker(spec.record_count)
+    else:
+        picker = ScrambledZipfianPicker(spec.record_count, spec.zipf_theta)
+    latest: Optional[LatestPicker] = None
+    next_insert = spec.record_count
+    if insert_p > 0:
+        latest = LatestPicker(spec.record_count, spec.zipf_theta)
+    for _ in range(spec.operation_count):
+        roll = rng.random()
+        if roll < read_p:
+            if latest is not None:
+                index = latest.pick(rng)
+            else:
+                index = picker.pick(rng)
+            yield "get", encode_key(index), b""
+        elif roll < read_p + insert_p:
+            yield "put", encode_key(next_insert), make_value(
+                rng, spec.value_size
+            )
+            next_insert += 1
+            if latest is not None:
+                latest.insert_count = next_insert
+        elif roll < read_p + insert_p + update_p:
+            index = picker.pick(rng)
+            yield "put", encode_key(index), make_value(rng, spec.value_size)
+        else:  # read-modify-write: surface as a get followed by a put
+            index = picker.pick(rng)
+            yield "get", encode_key(index), b""
+            yield "put", encode_key(index), make_value(rng, spec.value_size)
+
+
+def full_workload(
+    spec: WorkloadSpec, rng: random.Random
+) -> Iterator[Operation]:
+    """Load phase followed by the run phase."""
+    yield from load_phase(spec, rng)
+    yield from run_phase(spec, rng)

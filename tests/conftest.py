@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded RNG; tests must not use the global one."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def make_rng():
+    """Factory for independently seeded RNGs."""
+
+    def factory(seed: int) -> random.Random:
+        return random.Random(seed)
+
+    return factory

@@ -1,0 +1,158 @@
+"""Tests for the exact Lemma 7 curve and the ablation hooks."""
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.adaptive import (
+    adaptivity_gain_exact,
+    closest_pair_attack_cluster_exact,
+)
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import bins_star_collision_probability
+from repro.core.bins_star import BinsStarGenerator, chunk_count
+from repro.core.cluster_star import ClusterStarGenerator
+from repro.errors import ConfigurationError
+
+
+class TestClosestPairExact:
+    def test_matches_brute_force_enumeration(self):
+        """Enumerate all m^n first-ID placements and check the spacing
+        condition directly."""
+        for m, n, d in [(8, 2, 5), (10, 3, 6), (12, 2, 8)]:
+            gap = d - n
+            collide = 0
+            for starts in itertools.product(range(m), repeat=n):
+                hit = any(
+                    (b - a) % m < gap or (a - b) % m < gap
+                    for a, b in itertools.combinations(starts, 2)
+                )
+                collide += hit
+            expected = Fraction(collide, m**n)
+            assert closest_pair_attack_cluster_exact(m, n, d) == expected
+
+    def test_zero_budget_reduces_to_birthday(self):
+        # d == n: only the probes; collision iff two first IDs equal.
+        from repro.analysis.combinatorics import birthday_collision
+
+        assert closest_pair_attack_cluster_exact(
+            100, 5, 5
+        ) == birthday_collision(100, 5)
+
+    def test_monotone_in_budget(self):
+        m, n = 1 << 14, 8
+        previous = Fraction(0)
+        for d in (8, 16, 64, 256, 1024):
+            current = closest_pair_attack_cluster_exact(m, n, d)
+            assert current >= previous
+            previous = current
+
+    def test_gain_is_theta_n(self):
+        """Lemma 7: the adaptive gain grows linearly in n (until the
+        attack probability saturates)."""
+        m, d = 1 << 24, 1024
+        for n in (2, 4, 8, 16):
+            gain = adaptivity_gain_exact(m, n, d)
+            assert n / 3 <= gain <= 3 * n
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            closest_pair_attack_cluster_exact(100, 1, 10)
+        with pytest.raises(ConfigurationError):
+            closest_pair_attack_cluster_exact(100, 5, 3)
+
+
+class TestClusterStarGrowth:
+    def test_growth_one_is_single_id_runs(self):
+        generator = ClusterStarGenerator(1 << 12, random.Random(1), growth=1)
+        generator.take(20)
+        assert [length for _, length in generator.runs] == [1] * 20
+
+    def test_growth_four_schedule(self):
+        generator = ClusterStarGenerator(1 << 16, random.Random(2), growth=4)
+        generator.take(1 + 4 + 16)
+        assert [length for _, length in generator.runs] == [1, 4, 16]
+
+    def test_growth_one_fast_path_still_distinct(self):
+        m = 256
+        generator = ClusterStarGenerator(m, random.Random(5), growth=1)
+        ids = generator.take(200)  # past the 50% density switch
+        assert len(set(ids)) == 200
+
+    def test_invalid_growth(self):
+        with pytest.raises(ConfigurationError):
+            ClusterStarGenerator(64, random.Random(0), growth=0)
+
+    def test_reservation_overhead_bounded_by_growth(self):
+        for growth in (2, 4, 8):
+            generator = ClusterStarGenerator(
+                1 << 20, random.Random(3), growth=growth
+            )
+            demand = 100
+            generator.take(demand)
+            reserved = sum(length for _, length in generator.runs)
+            assert reserved <= growth * demand
+
+
+class TestBinsStarChunkOverride:
+    def test_override_respected(self):
+        m = 1 << 16
+        generator = BinsStarGenerator(
+            m, random.Random(1), num_chunks_override=6
+        )
+        assert generator.num_chunks == 6
+        assert generator.scheduled_capacity == 63
+
+    def test_override_validation(self):
+        with pytest.raises(ConfigurationError):
+            BinsStarGenerator(64, random.Random(0), num_chunks_override=20)
+
+    def test_exact_formula_with_override_matches_simulation(self):
+        from repro.simulation.montecarlo import estimate_profile_collision
+
+        m, c = 1 << 10, 5
+        profile = DemandProfile.of(7, 9)
+        exact = float(
+            bins_star_collision_probability(m, profile, num_chunks=c)
+        )
+        estimate = estimate_profile_collision(
+            lambda mm, rr: BinsStarGenerator(
+                mm, rr, num_chunks_override=c
+            ),
+            m,
+            profile,
+            trials=3000,
+            seed=8,
+        )
+        assert estimate.ci_low - 0.02 <= exact <= estimate.ci_high + 0.02
+
+    def test_fewer_chunks_worse_competitive_ratio(self):
+        """The A2 effect as a unit test."""
+        from repro.analysis.competitive import competitive_ratio_upper
+
+        m = 1 << 16
+        c_paper = chunk_count(m)
+        # Demand must fit the reduced capacity 2^(C−4) − 1 = 255.
+        profile = DemandProfile.of(2, 128)
+        paper_ratio = competitive_ratio_upper(
+            m,
+            profile,
+            bins_star_collision_probability(m, profile, c_paper),
+        )
+        small_ratio = competitive_ratio_upper(
+            m,
+            profile,
+            bins_star_collision_probability(m, profile, c_paper - 4),
+        )
+        assert small_ratio > paper_ratio
+
+
+def test_ablation_experiments_pass_quick():
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    for eid in ("A2",):  # A1 is MC-heavy; covered by the bench harness
+        result = run_experiment(eid, ExperimentConfig(quick=True, seed=5))
+        failed = [c for c in result.checks if not c.passed]
+        assert not failed, [str(c) for c in failed]

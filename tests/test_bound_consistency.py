@@ -1,0 +1,96 @@
+"""Cross-cutting consistency: exact values vs the paper's bound formulas.
+
+Property-based checks that the lemma chain of §7 holds numerically on
+random profiles: Lemma 20's rank lower bound sits below the certified
+p* bounds, which sit below every algorithm, and Bins*'s exact value
+respects Lemma 22's log-m envelope.
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.bounds import (
+    lemma20_rank_lower_bound,
+    lemma22_bins_star_upper,
+    theorem1_cluster,
+)
+from repro.analysis.exact import (
+    bins_star_collision_probability,
+    cluster_collision_probability,
+)
+from repro.analysis.optimal import p_star_lower_bound, p_star_upper_bound
+from repro.cli import main
+
+SLOW = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+M = 1 << 16
+
+profiles = st.lists(
+    st.integers(1, 64), min_size=2, max_size=6
+).map(lambda demands: DemandProfile(tuple(demands)))
+
+
+@SLOW
+@given(profiles)
+def test_p_star_sandwich_on_random_profiles(profile):
+    low = p_star_lower_bound(M, profile)
+    high = p_star_upper_bound(M, profile)
+    assert 0 < low <= high <= 1
+
+
+@SLOW
+@given(profiles)
+def test_lemma20_value_below_certified_upper(profile):
+    """Lemma 20 is an Ω-bound on p*(D⁻) ≤ p*(D): its raw value can carry
+    at most a constant above the certified achievable probability."""
+    ranks = profile.rounded().rank_distribution()
+    bound = lemma20_rank_lower_bound(M, ranks)
+    achievable = float(p_star_upper_bound(M, profile))
+    assert bound <= 8 * achievable + 1e-12
+
+
+@SLOW
+@given(profiles)
+def test_bins_star_exact_below_lemma22_envelope(profile):
+    """Lemma 22: p_Bins*(D⁻) = O((log m/m)·Σ C(s_i,2)2^i).
+
+    The proof folds cross-rank collisions into the same-rank sum via
+    the recursion X ≤ O(Σ) + (5/6)X, so the hidden constant is ≈ 6×
+    the per-term constants — small mixed-rank profiles genuinely sit
+    several times above the naive envelope. Constant 32 is faithful.
+    """
+    exact = float(bins_star_collision_probability(M, profile))
+    ranks = profile.rounded().rank_distribution()
+    envelope = lemma22_bins_star_upper(M, ranks)
+    assert exact <= 32 * envelope + 1e-12
+
+
+@SLOW
+@given(profiles)
+def test_cluster_exact_below_theorem1_envelope(profile):
+    exact = float(cluster_collision_probability(M, profile))
+    assert exact <= 2 * theorem1_cluster(M, profile) + 1e-12
+
+
+@SLOW
+@given(profiles)
+def test_p_star_monotone_in_m(profile):
+    """A bigger universe can only help the optimal algorithm."""
+    small = p_star_upper_bound(M, profile)
+    large = p_star_upper_bound(M * 16, profile)
+    assert large <= small + Fraction(1, 10**9)
+
+
+def test_compare_cli(capsys):
+    assert main(
+        ["compare", "--m", str(1 << 64), "--n", "100", "--h", "100000"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cluster" in out and "random" in out and "deployment" in out

@@ -1,0 +1,136 @@
+"""Unit tests for repro.analysis.combinatorics."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.combinatorics import (
+    binomial,
+    birthday_collision,
+    birthday_no_collision,
+    circular_disjoint_arcs_probability,
+    disjoint_subsets_probability,
+    disjoint_subsets_probability_estimate,
+    falling_factorial,
+    log2_or_one,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFallingFactorial:
+    def test_basic(self):
+        assert falling_factorial(5, 3) == 60
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 5) == 120
+
+    def test_k_exceeds_x(self):
+        assert falling_factorial(3, 4) == 0
+
+    def test_negative_k(self):
+        with pytest.raises(ConfigurationError):
+            falling_factorial(5, -1)
+
+    def test_matches_math_perm(self):
+        for x in range(10):
+            for k in range(x + 1):
+                assert falling_factorial(x, k) == math.perm(x, k)
+
+
+class TestBinomial:
+    def test_out_of_range_is_zero(self):
+        assert binomial(5, -1) == 0
+        assert binomial(5, 6) == 0
+
+    def test_matches_math_comb(self):
+        for n in range(12):
+            for k in range(n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+
+class TestBirthday:
+    def test_classic_23_people(self):
+        p = float(birthday_collision(365, 23))
+        assert 0.50 < p < 0.51
+
+    def test_edge_cases(self):
+        assert birthday_no_collision(10, 0) == 1
+        assert birthday_no_collision(10, 1) == 1
+        assert birthday_no_collision(3, 4) == 0
+        assert birthday_collision(3, 4) == 1
+
+    def test_two_balls(self):
+        assert birthday_collision(8, 2) == Fraction(1, 8)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ConfigurationError):
+            birthday_no_collision(0, 2)
+
+
+class TestDisjointSubsets:
+    def test_single_set_never_collides(self):
+        assert disjoint_subsets_probability(10, [7]) == 1
+
+    def test_overfull_is_zero(self):
+        assert disjoint_subsets_probability(5, [3, 3]) == 0
+
+    def test_pair_formula(self):
+        # Two singletons: disjoint w.p. (m-1)/m.
+        assert disjoint_subsets_probability(9, [1, 1]) == Fraction(8, 9)
+
+    def test_zero_sizes_skipped(self):
+        assert disjoint_subsets_probability(5, [0, 2, 0]) == 1
+
+    def test_order_invariance(self):
+        a = disjoint_subsets_probability(12, [2, 3, 4])
+        b = disjoint_subsets_probability(12, [4, 2, 3])
+        assert a == b
+
+    def test_estimate_tracks_exact(self):
+        # The midpoint-rule error shrinks with sizes/universe, so the
+        # tolerance tightens as the universe grows relative to demand.
+        for universe, sizes, rel in [
+            (1000, [10, 20, 30], 2e-4),
+            (10**6, [500, 400], 1e-6),
+            (128, [8, 8, 8, 8], 3e-3),  # dense: estimate's worst case
+        ]:
+            exact = float(disjoint_subsets_probability(universe, sizes))
+            estimate = disjoint_subsets_probability_estimate(
+                universe, sizes
+            )
+            assert estimate == pytest.approx(exact, rel=rel)
+
+    def test_estimate_overfull_zero(self):
+        assert disjoint_subsets_probability_estimate(5, [3, 3]) == 0.0
+
+
+class TestCircularArcs:
+    def test_two_arcs_matches_paper_pairwise(self):
+        # Pr[collision] = (d1 + d2 − 1)/m  (Theorem 1's pairwise event).
+        for m in (7, 20):
+            for d1 in (1, 3):
+                for d2 in (1, 4):
+                    p = 1 - circular_disjoint_arcs_probability(m, [d1, d2])
+                    assert p == Fraction(d1 + d2 - 1, m)
+
+    def test_single_arc(self):
+        assert circular_disjoint_arcs_probability(10, [4]) == 1
+
+    def test_overfull(self):
+        assert circular_disjoint_arcs_probability(6, [4, 3]) == 0
+
+    def test_perfect_packing(self):
+        # Two arcs of length m/2: must start exactly opposite: 2 good
+        # placements of m... for arc2 given arc1: exactly 1 start works.
+        assert circular_disjoint_arcs_probability(8, [4, 4]) == Fraction(
+            1, 8
+        )
+
+    def test_zero_lengths_ignored(self):
+        assert circular_disjoint_arcs_probability(10, [0, 3]) == 1
+
+
+def test_log2_or_one():
+    assert log2_or_one(1.0) == 1.0
+    assert log2_or_one(2.0) == 1.0
+    assert log2_or_one(8.0) == 3.0

@@ -1,0 +1,155 @@
+"""Deeper compaction and options tests: cascades, tombstone life cycle."""
+
+import random
+
+import pytest
+
+from repro.core.base import IDGenerator
+from repro.core.cluster import ClusterGenerator
+from repro.errors import ConfigurationError
+from repro.kvstore.db import MiniRocks
+from repro.kvstore.memtable import TOMBSTONE
+from repro.kvstore.options import Options, generator_factory_from_spec
+
+
+class TestOptions:
+    def test_defaults_build_a_generator(self):
+        options = Options()
+        generator = options.id_generator_factory(random.Random(1))
+        assert isinstance(generator, IDGenerator)
+
+    def test_spec_factory(self):
+        factory = generator_factory_from_spec("cluster", 1 << 20)
+        generator = factory(random.Random(2))
+        assert isinstance(generator, ClusterGenerator)
+        assert generator.m == 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Options(memtable_entries=0)
+        with pytest.raises(ConfigurationError):
+            Options(block_entries=0)
+        with pytest.raises(ConfigurationError):
+            Options(num_levels=1)
+        with pytest.raises(ConfigurationError):
+            Options(id_universe=1)
+
+    def test_explicit_factory_wins(self):
+        sentinel = []
+
+        def factory(rng):
+            sentinel.append(rng)
+            return ClusterGenerator(64, rng)
+
+        options = Options(id_generator_factory=factory)
+        options.id_generator_factory(random.Random(1))
+        assert sentinel
+
+
+class TestCompactionCascade:
+    def _db(self):
+        return MiniRocks(
+            Options(
+                memtable_entries=4,
+                block_entries=2,
+                level0_file_limit=2,
+                level_size_multiplier=2,
+                num_levels=4,
+                id_universe=1 << 32,
+            ),
+            rng=random.Random(9),
+        )
+
+    def test_data_reaches_deep_levels_and_survives(self):
+        db = self._db()
+        reference = {}
+        rng = random.Random(10)
+        for i in range(600):
+            key = f"k{rng.randrange(120):03d}".encode()
+            value = f"v{i}".encode()
+            db.put(key, value)
+            reference[key] = value
+        # Something must have cascaded below L1.
+        deep_files = sum(
+            db.manifest.file_count(level)
+            for level in range(2, db.manifest.num_levels)
+        )
+        assert deep_files > 0
+        for key, value in reference.items():
+            assert db.get(key) == value
+
+    def test_levels_respect_budgets_after_compact_all(self):
+        from repro.kvstore.compaction import level_file_budget
+
+        db = self._db()
+        for i in range(400):
+            db.put(f"k{i % 90:03d}".encode(), b"v")
+        db.flush()
+        db.compact_all()
+        for level in range(db.manifest.num_levels - 1):
+            assert db.manifest.file_count(level) < level_file_budget(
+                db.options, level
+            )
+
+    def test_tombstone_survives_until_bottom_level(self):
+        """A delete must keep shadowing older versions while any older
+        level could still hold the key — dropped only at the bottom."""
+        db = self._db()
+        db.put(b"victim", b"alive")
+        for i in range(40):  # push the put down the tree
+            db.put(f"pad{i:03d}".encode(), b"x")
+        db.delete(b"victim")
+        for i in range(40, 80):
+            db.put(f"pad{i:03d}".encode(), b"x")
+        db.flush()
+        db.compact_all()
+        assert db.get(b"victim") is None
+        # And the tombstone is not resurrected by further compactions.
+        for i in range(80, 160):
+            db.put(f"pad{i:03d}".encode(), b"x")
+        db.flush()
+        db.compact_all()
+        assert db.get(b"victim") is None
+
+    def test_no_tombstones_on_bottom_level(self):
+        db = self._db()
+        for i in range(60):
+            db.put(f"k{i:03d}".encode(), b"v")
+            if i % 3 == 0:
+                db.delete(f"k{i:03d}".encode())
+        db.flush()
+        db.compact_all()
+        bottom = db.manifest.num_levels - 1
+        for sst in db.manifest.level(bottom):
+            for _key, value in sst.iter_entries():
+                assert value != TOMBSTONE
+
+    def test_compaction_consumes_fresh_ids(self):
+        """Every compaction output mints a new ID — the reason real
+        deployments burn IDs much faster than live-file counts."""
+        db = self._db()
+        for i in range(200):
+            db.put(f"k{i % 50:03d}".encode(), b"v")
+        db.flush()
+        assigned = len(db.assigned_file_ids())
+        live = db.manifest.file_count()
+        assert assigned > live
+
+    def test_cache_evicted_for_dropped_files(self):
+        db = self._db()
+        for i in range(100):
+            db.put(f"k{i % 30:03d}".encode(), b"v")
+        db.flush()
+        for i in range(30):
+            db.get(f"k{i:03d}".encode())  # warm the cache
+        before = len(db.cache)
+        for i in range(200):
+            db.put(f"k{i % 30:03d}".encode(), b"w")
+        db.flush()
+        db.compact_all()
+        # Dropped files' blocks must have left the cache; the cache may
+        # hold newer blocks but not more than capacity.
+        assert len(db.cache) <= db.cache.capacity
+        live_ids = set(db.live_file_ids())
+        for file_id, _block in list(db.cache._blocks):
+            assert file_id in live_ids

@@ -1,0 +1,188 @@
+"""The exact formulas vs full enumeration of the probability space.
+
+For tiny universes every algorithm's randomness can be enumerated
+outright, giving a ground-truth collision probability to compare the
+closed forms in :mod:`repro.analysis.exact` against — the strongest
+correctness evidence in the suite.
+"""
+
+import itertools
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.exact import (
+    bins_collision_probability,
+    bins_star_collision_probability,
+    cluster_collision_probability,
+    random_collision_probability,
+)
+from repro.core.bins_star import chunk_count
+
+
+def brute_force_random(m, demands) -> Fraction:
+    """Enumerate each instance's ID set (uniform over combinations)."""
+    universes = [
+        list(itertools.combinations(range(m), d)) for d in demands
+    ]
+    collide = Fraction(0)
+    total = math.prod(len(u) for u in universes)
+    for choice in itertools.product(*universes):
+        sets = [set(c) for c in choice]
+        union_size = len(set().union(*sets))
+        if union_size < sum(demands):
+            collide += 1
+    return collide / total
+
+
+def brute_force_cluster(m, demands) -> Fraction:
+    """Enumerate every instance's starting point (m^n outcomes)."""
+    collide = 0
+    for starts in itertools.product(range(m), repeat=len(demands)):
+        occupied = []
+        for start, demand in zip(starts, demands):
+            occupied.append({(start + i) % m for i in range(demand)})
+        union_size = len(set().union(*occupied))
+        if union_size < sum(demands):
+            collide += 1
+    return Fraction(collide, m ** len(demands))
+
+
+def brute_force_bins(m, k, demands) -> Fraction:
+    """Enumerate each instance's bin set."""
+    num_bins = m // k
+    bin_counts = [-(-d // k) for d in demands]
+    universes = [
+        list(itertools.combinations(range(num_bins), b)) for b in bin_counts
+    ]
+    collide = Fraction(0)
+    total = math.prod(len(u) for u in universes)
+    for choice in itertools.product(*universes):
+        union_size = len(set().union(*[set(c) for c in choice]))
+        if union_size < sum(bin_counts):
+            collide += 1
+    return collide / total
+
+
+def brute_force_bins_star(m, demands) -> Fraction:
+    """Enumerate each instance's per-chunk bin choice."""
+    num_chunks = chunk_count(m)
+    per_instance_choices = []
+    for demand in demands:
+        chunks_reached = [
+            c for c in range(num_chunks) if demand >= (1 << c)
+        ]
+        options = [
+            range(1 << (num_chunks - 1 - c)) for c in chunks_reached
+        ]
+        per_instance_choices.append(
+            [
+                dict(zip(chunks_reached, combo))
+                for combo in itertools.product(*options)
+            ]
+        )
+    collide = 0
+    total = math.prod(len(c) for c in per_instance_choices)
+    for assignment in itertools.product(*per_instance_choices):
+        collision = False
+        for a, b in itertools.combinations(assignment, 2):
+            shared = set(a) & set(b)
+            if any(a[c] == b[c] for c in shared):
+                collision = True
+                break
+        collide += collision
+    return Fraction(collide, total)
+
+
+@pytest.mark.parametrize(
+    "m,demands",
+    [
+        (5, (1, 1)),
+        (6, (2, 2)),
+        (7, (2, 3)),
+        (6, (1, 2, 2)),
+        (5, (2, 2, 1)),
+        (4, (2, 2)),
+    ],
+)
+def test_random_matches_enumeration(m, demands):
+    expected = brute_force_random(m, demands)
+    actual = random_collision_probability(
+        m, DemandProfile(demands), method="exact"
+    )
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "m,demands",
+    [
+        (5, (1, 1)),
+        (7, (2, 3)),
+        (8, (3, 3)),
+        (6, (2, 2, 1)),
+        (9, (2, 2, 2)),
+        (5, (2, 2, 1)),
+        (10, (4, 5)),
+        (6, (6, 1)),
+    ],
+)
+def test_cluster_matches_enumeration(m, demands):
+    expected = brute_force_cluster(m, demands)
+    actual = cluster_collision_probability(m, DemandProfile(demands))
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "m,k,demands",
+    [
+        (6, 2, (2, 2)),
+        (8, 2, (3, 4)),
+        (9, 3, (3, 3, 3)),
+        (12, 4, (5, 4)),
+        (10, 2, (2, 2, 2)),
+        (12, 3, (1, 7)),
+    ],
+)
+def test_bins_matches_enumeration(m, k, demands):
+    expected = brute_force_bins(m, k, demands)
+    actual = bins_collision_probability(
+        m, k, DemandProfile(demands), method="exact"
+    )
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "m,demands",
+    [
+        (16, (1, 1)),
+        (16, (3, 3)),
+        (16, (1, 3)),
+        (16, (2, 2, 2)),
+        (32, (5, 7)),
+        (32, (1, 2, 4)),
+        (64, (7, 9)),
+    ],
+)
+def test_bins_star_matches_enumeration(m, demands):
+    expected = brute_force_bins_star(m, demands)
+    actual = bins_star_collision_probability(m, DemandProfile(demands))
+    assert actual == expected
+
+
+def test_monte_carlo_agrees_with_enumeration_for_cluster_star():
+    """Cluster* has no closed form; check MC against enumeration of the
+    two-instance, demand-(1,1) case where Cluster* = uniform first ID."""
+    from repro.core.cluster_star import ClusterStarGenerator
+    from repro.simulation.montecarlo import estimate_profile_collision
+
+    m = 8
+    estimate = estimate_profile_collision(
+        lambda mm, rr: ClusterStarGenerator(mm, rr),
+        m,
+        DemandProfile((1, 1)),
+        trials=4000,
+        seed=13,
+    )
+    assert estimate.ci_low <= 1 / m <= estimate.ci_high

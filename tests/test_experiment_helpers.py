@@ -1,0 +1,91 @@
+"""Unit tests for experiment-internal helpers (cheap, no MC)."""
+
+import pytest
+
+from repro.adversary.profiles import DemandProfile
+from repro.experiments import e01_cluster_theorem1 as e01
+from repro.experiments import e04_worstcase_crossover as e04
+from repro.experiments import e08_bins_star_competitive as e08
+from repro.experiments import e10_adaptive_competitive as e10
+from repro.experiments import e11_kvstore_endtoend as e11
+from repro.experiments.framework import ExperimentConfig
+
+
+class TestE01Profiles:
+    def test_profile_sweep_well_formed(self):
+        profiles = list(e01._profiles(1 << 24, quick=True))
+        assert profiles
+        for label, profile in profiles:
+            assert profile.total <= (1 << 24) // 4
+            assert any(
+                label.startswith(prefix)
+                for prefix in ("uniform", "zipf", "maxskew")
+            )
+
+    def test_quick_is_subset_scale(self):
+        quick = list(e01._profiles(1 << 24, quick=True))
+        full = list(e01._profiles(1 << 24, quick=False))
+        assert len(quick) < len(full)
+
+
+class TestE04FailureScale:
+    def test_finds_first_crossing(self):
+        assert e04._failure_scale([1, 2, 4], [0.1, 0.6, 0.9]) == 2
+
+    def test_none_when_never_fails(self):
+        assert e04._failure_scale([1, 2], [0.1, 0.2]) is None
+
+
+class TestE08WorstRatios:
+    def test_returns_all_algorithms(self):
+        worst = e08._worst_ratios(1 << 12, 4)
+        assert set(worst) == {"bins_star", "cluster", "random"}
+        assert all(value >= 1.0 for value in worst.values())
+
+    def test_bins_star_best(self):
+        worst = e08._worst_ratios(1 << 14, 6)
+        assert worst["bins_star"] <= worst["cluster"]
+
+
+class TestE10Helpers:
+    def test_sequences_valid(self):
+        for name, sequence in e10._sequences(quick=False):
+            assert len(sequence.steps) == sequence.final_profile().total
+            assert name
+
+    def test_prefix_profiles_sampling(self):
+        from repro.adversary.semi_adaptive import DemandSequence
+
+        sequence = DemandSequence.from_profile(
+            DemandProfile.uniform(4, 16), order="round_robin"
+        )
+        prefixes = e10._prefix_profiles(sequence, samples=5)
+        assert 1 <= len(prefixes) <= 8
+        # Prefixes grow: the last one is the full profile.
+        assert prefixes[-1].total == sequence.final_profile().total
+        for profile in prefixes:
+            assert profile.n >= 2
+
+
+class TestE11Fleet:
+    def test_single_fleet_run_metrics(self):
+        from repro.workloads.ycsb import WorkloadSpec
+
+        spec = WorkloadSpec(
+            workload="a", record_count=100, operation_count=300
+        )
+        metrics = e11._run_fleet(
+            "cluster", 1 << 20, nodes=3, spec=spec, seed=3
+        )
+        assert metrics["ids_minted"] > 0
+        assert metrics["id_collisions"] == 0  # 2^20 universe, tiny load
+        assert 0.0 <= metrics["hit_rate"] <= 1.0
+
+
+class TestConfigPlumbing:
+    def test_seed_propagates_determinism(self):
+        from repro.experiments import run_experiment
+
+        a = run_experiment("E9", ExperimentConfig(quick=True, seed=1))
+        b = run_experiment("E9", ExperimentConfig(quick=True, seed=1))
+        assert [r for r in a.rows] == [r for r in b.rows]

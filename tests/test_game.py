@@ -1,0 +1,203 @@
+"""Unit tests for the game engine and adversary protocol."""
+
+import random
+
+import pytest
+
+from repro.adversary.base import (
+    NEW_INSTANCE,
+    Adversary,
+    GameView,
+    ObliviousAdversary,
+)
+from repro.adversary.profiles import DemandProfile, family_d1
+from repro.core.cluster import ClusterGenerator
+from repro.core.random_gen import RandomGenerator
+from repro.errors import GameError
+from repro.simulation.game import Game, play_profile
+
+
+def cluster_factory(m, rng):
+    return ClusterGenerator(m, rng)
+
+
+class ScriptedAdversary(Adversary):
+    """Plays a fixed script of requests."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.cursor = 0
+
+    def next_request(self, view):
+        if self.cursor >= len(self.script):
+            return None
+        choice = self.script[self.cursor]
+        self.cursor += 1
+        return choice
+
+
+class TestGameBasics:
+    def test_profile_accumulates(self):
+        adversary = ScriptedAdversary(
+            [NEW_INSTANCE, NEW_INSTANCE, 0, 0, 1]
+        )
+        game = Game(cluster_factory, 1 << 20, adversary, seed=1)
+        result = game.run()
+        assert result.profile.demands == (3, 2)
+        assert result.steps == 5
+        assert not result.collided
+
+    def test_unknown_instance_rejected(self):
+        adversary = ScriptedAdversary([NEW_INSTANCE, 5])
+        game = Game(cluster_factory, 100, adversary, seed=1)
+        with pytest.raises(GameError):
+            game.run()
+
+    def test_empty_game_rejected(self):
+        game = Game(cluster_factory, 100, ScriptedAdversary([]), seed=1)
+        with pytest.raises(GameError):
+            game.run()
+
+    def test_max_steps_caps_the_game(self):
+        adversary = ScriptedAdversary([NEW_INSTANCE] + [0] * 100)
+        game = Game(cluster_factory, 1 << 16, adversary, seed=1)
+        result = game.run(max_steps=10)
+        assert result.steps == 10
+
+    def test_transcript_kept_on_request(self):
+        adversary = ScriptedAdversary([NEW_INSTANCE, 0, 0])
+        game = Game(
+            cluster_factory, 1 << 10, adversary, seed=3, keep_transcript=True
+        )
+        result = game.run()
+        assert len(result.transcript) == 3
+        assert all(instance == 0 for instance, _ in result.transcript)
+
+    def test_collision_detection_forced(self):
+        """m=1: every second request collides."""
+        adversary = ScriptedAdversary([NEW_INSTANCE, NEW_INSTANCE])
+        game = Game(cluster_factory, 1, adversary, seed=1)
+        result = game.run()
+        assert result.collided
+        assert result.collision_step == 2
+
+    def test_stop_on_collision(self):
+        adversary = ScriptedAdversary(
+            [NEW_INSTANCE, NEW_INSTANCE, NEW_INSTANCE, NEW_INSTANCE]
+        )
+        game = Game(cluster_factory, 2, adversary, seed=1, stop_on_collision=True)
+        result = game.run()
+        assert result.collided
+        # At m=2, a collision must happen by the 3rd activation at latest;
+        # the game stops at the first one.
+        assert result.steps <= 3
+
+    def test_exhaustion_reported(self):
+        adversary = ScriptedAdversary([NEW_INSTANCE] + [0] * 10)
+        game = Game(
+            cluster_factory, 4, adversary, seed=1, stop_on_collision=False
+        )
+        result = game.run()
+        assert result.exhausted
+        assert result.steps == 4
+
+    def test_family_enforced(self):
+        adversary = ScriptedAdversary([NEW_INSTANCE, NEW_INSTANCE, 0])
+        game = Game(
+            cluster_factory,
+            1 << 20,
+            adversary,
+            seed=1,
+            family=family_d1(3, 10),  # needs exactly 3 instances
+        )
+        with pytest.raises(GameError):
+            game.run()
+
+    def test_instances_get_independent_rngs(self):
+        adversary = ScriptedAdversary([NEW_INSTANCE, NEW_INSTANCE])
+        game = Game(
+            cluster_factory, 1 << 30, adversary, seed=7, keep_transcript=True
+        )
+        result = game.run()
+        first_ids = [value for _, value in result.transcript]
+        assert first_ids[0] != first_ids[1]
+
+
+class TestGameView:
+    def test_view_records(self):
+        view = GameView(100)
+        view._record(0, 42, False)
+        view._record(1, 42, True)
+        assert view.num_instances == 2
+        assert view.steps == 2
+        assert view.collided
+        assert view.collision_step == 2
+        assert view.ids_of(0) == (42,)
+        assert view.last_id_of(1) == 42
+        assert view.counts() == (1, 1)
+
+    def test_last_id_of_empty_instance(self):
+        view = GameView(10)
+        view._record(0, 1, False)
+        with pytest.raises(IndexError):
+            view.ids_of(3)
+
+    def test_events_since(self):
+        view = GameView(10)
+        view._record(0, 1, False)
+        view._record(0, 2, False)
+        assert list(view.events_since(1)) == [(0, 2)]
+
+
+class TestObliviousAdversary:
+    @pytest.mark.parametrize("order", ["sequential", "round_robin", "random"])
+    def test_realizes_profile(self, order):
+        profile = DemandProfile.of(3, 1, 2)
+        adversary = ObliviousAdversary(
+            profile, order=order, rng=random.Random(5)
+        )
+        game = Game(
+            cluster_factory, 1 << 20, adversary, seed=2,
+            stop_on_collision=False,
+        )
+        result = game.run()
+        assert sorted(result.profile.demands) == sorted(profile.demands)
+        assert result.steps == profile.total
+
+    def test_unknown_order(self):
+        with pytest.raises(GameError):
+            ObliviousAdversary(DemandProfile.of(1, 1), order="zigzag")
+
+    def test_round_robin_interleaves(self):
+        profile = DemandProfile.of(2, 2)
+        adversary = ObliviousAdversary(profile, order="round_robin")
+        game = Game(
+            cluster_factory, 1 << 16, adversary, seed=2,
+            stop_on_collision=False, keep_transcript=True,
+        )
+        result = game.run()
+        instances = [instance for instance, _ in result.transcript]
+        assert instances == [0, 1, 0, 1]
+
+
+class TestPlayProfile:
+    def test_returns_full_profile(self):
+        result = play_profile(
+            cluster_factory, 1 << 16, DemandProfile.of(4, 4), seed=3
+        )
+        assert result.profile.demands == (4, 4)
+
+    def test_reproducible(self):
+        a = play_profile(
+            lambda m, rng: RandomGenerator(m, rng),
+            1 << 10,
+            DemandProfile.of(8, 8),
+            seed=11,
+        )
+        b = play_profile(
+            lambda m, rng: RandomGenerator(m, rng),
+            1 << 10,
+            DemandProfile.of(8, 8),
+            seed=11,
+        )
+        assert a.collided == b.collided

@@ -1,0 +1,108 @@
+"""Unit tests for ID encodings and structured layouts."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.idspace.encoding import (
+    bytes_width_for,
+    id_from_base32,
+    id_from_bytes,
+    id_from_hex,
+    id_from_uuid_string,
+    id_to_base32,
+    id_to_bytes,
+    id_to_hex,
+    id_to_uuid_string,
+)
+from repro.idspace.structured import SessionIDGenerator, StructuredIDLayout
+
+
+class TestEncoding:
+    def test_width(self):
+        assert bytes_width_for(256) == 1
+        assert bytes_width_for(257) == 2
+        assert bytes_width_for(1 << 128) == 16
+
+    def test_bytes_roundtrip(self):
+        for m in (100, 1 << 20, 1 << 128):
+            for value in (0, 1, m - 1):
+                assert id_from_bytes(id_to_bytes(value, m), m) == value
+
+    def test_hex_roundtrip(self):
+        assert id_from_hex(id_to_hex(0xDEAD, 1 << 32), 1 << 32) == 0xDEAD
+        assert id_to_hex(0xDEAD, 1 << 32) == "0000dead"
+
+    def test_base32_roundtrip(self):
+        m = 1 << 40
+        for value in (0, 1, 31, 32, m - 1):
+            assert id_from_base32(id_to_base32(value, m), m) == value
+
+    def test_base32_rejects_bad_chars(self):
+        with pytest.raises(ConfigurationError):
+            id_from_base32("u!", 1 << 10)  # 'u' not in Crockford set
+
+    def test_uuid_string_roundtrip(self):
+        value = (1 << 127) | 12345
+        text = id_to_uuid_string(value)
+        assert len(text) == 36 and text.count("-") == 4
+        assert id_from_uuid_string(text) == value
+
+    def test_uuid_string_validation(self):
+        with pytest.raises(ConfigurationError):
+            id_to_uuid_string(1 << 128)
+        with pytest.raises(ConfigurationError):
+            id_from_uuid_string("short")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            id_to_bytes(100, 100)
+        with pytest.raises(ConfigurationError):
+            id_from_bytes(b"\xff\xff", 100)
+
+
+class TestStructuredLayout:
+    def test_compose_decompose(self):
+        layout = StructuredIDLayout(total_bits=16, counter_bits=6)
+        value = layout.compose(prefix=3, counter=17)
+        assert value == (3 << 6) | 17
+        assert layout.decompose(value) == (3, 17)
+
+    def test_capacities(self):
+        layout = StructuredIDLayout(total_bits=16, counter_bits=6)
+        assert layout.m == 1 << 16
+        assert layout.sessions == 1 << 10
+        assert layout.ids_per_session == 64
+
+    def test_bounds_enforced(self):
+        layout = StructuredIDLayout(total_bits=8, counter_bits=3)
+        with pytest.raises(ConfigurationError):
+            layout.compose(prefix=1 << 5, counter=0)
+        with pytest.raises(ConfigurationError):
+            layout.compose(prefix=0, counter=8)
+        with pytest.raises(ConfigurationError):
+            layout.decompose(1 << 8)
+
+    def test_layout_validation(self):
+        with pytest.raises(ConfigurationError):
+            StructuredIDLayout(total_bits=8, counter_bits=8)
+
+
+class TestSessionGenerator:
+    def test_is_cluster_in_disguise(self):
+        """Sequential composite IDs == Cluster on 2^total_bits."""
+        layout = StructuredIDLayout(total_bits=12, counter_bits=4)
+        generator = SessionIDGenerator(layout, random.Random(3))
+        ids = list(generator.iter_ids(100))
+        for a, b in zip(ids, ids[1:]):
+            assert (b - a) % layout.m == 1
+
+    def test_counter_carries_into_prefix(self):
+        layout = StructuredIDLayout(total_bits=8, counter_bits=2)
+        generator = SessionIDGenerator(layout, random.Random(0))
+        parts = [generator.next_parts() for _ in range(8)]
+        counters = [counter for _, counter in parts]
+        # Counter cycles 0..3 (starting anywhere) and wraps.
+        for a, b in zip(counters, counters[1:]):
+            assert b == (a + 1) % 4

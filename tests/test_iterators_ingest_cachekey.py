@@ -1,0 +1,143 @@
+"""Tests for LSM iterators, external ingestion, and cache-key derivation."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, KVStoreError
+from repro.idspace.cachekey import (
+    CACHE_KEY_BYTES,
+    derive_cache_key,
+    keys_alias,
+    split_cache_key,
+)
+from repro.kvstore.db import MiniRocks
+from repro.kvstore.iterators import LSMIterator, iterate_db, range_count
+from repro.kvstore.options import Options
+
+
+def make_db(**overrides):
+    defaults = dict(
+        memtable_entries=6,
+        block_entries=4,
+        level0_file_limit=2,
+        id_universe=1 << 32,
+    )
+    defaults.update(overrides)
+    return MiniRocks(Options(**defaults), rng=random.Random(7))
+
+
+class TestLSMIterator:
+    def test_streams_match_scan(self):
+        db = make_db()
+        reference = {}
+        rng = random.Random(11)
+        for i in range(300):
+            key = f"k{rng.randrange(60):03d}".encode()
+            if rng.random() < 0.85:
+                value = f"v{i}".encode()
+                db.put(key, value)
+                reference[key] = value
+            else:
+                db.delete(key)
+                reference.pop(key, None)
+        streamed = list(iterate_db(db))
+        assert streamed == sorted(reference.items())
+
+    def test_seek_forward(self):
+        db = make_db()
+        for i in range(20):
+            db.put(f"k{i:02d}".encode(), b"v")
+        iterator = iterate_db(db)
+        iterator.seek(b"k10")
+        key, _value = next(iterator)
+        assert key == b"k10"
+
+    def test_seek_past_end(self):
+        db = make_db()
+        db.put(b"a", b"1")
+        iterator = iterate_db(db)
+        iterator.seek(b"zzz")
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_peek_key_includes_tombstones(self):
+        db = make_db()
+        db.put(b"a", b"1")
+        db.delete(b"a")
+        iterator = iterate_db(db)
+        assert iterator.peek_key() == b"a"  # tombstone visible to peek
+        with pytest.raises(StopIteration):
+            next(iterator)  # ...but suppressed by iteration
+
+    def test_newest_version_wins_across_sources(self):
+        db = make_db(memtable_entries=2)
+        db.put(b"k", b"old")
+        db.put(b"x", b"pad")  # flush (memtable_entries=2)
+        db.put(b"k", b"new")  # memtable
+        assert dict(iterate_db(db))[b"k"] == b"new"
+
+    def test_empty_db(self):
+        assert list(iterate_db(make_db())) == []
+
+    def test_range_count(self):
+        db = make_db()
+        for i in range(30):
+            db.put(f"k{i:02d}".encode(), b"v")
+        db.delete(b"k05")
+        assert range_count(db, b"k00", b"k10") == 9
+        assert range_count(db, b"k10", b"k10") == 0
+
+
+class TestIngestExternal:
+    def test_ingest_visible_and_gets_fresh_id(self):
+        db = make_db()
+        before = set(db.assigned_file_ids())
+        sst = db.ingest_external(
+            [(b"bulk1", b"v1"), (b"bulk2", b"v2")]
+        )
+        assert db.get(b"bulk1") == b"v1"
+        assert sst.file_id not in before
+        assert sst.file_id in db.assigned_file_ids()
+
+    def test_ingest_shadows_older_data(self):
+        db = make_db()
+        db.put(b"k", b"old")
+        db.flush()
+        db.ingest_external([(b"k", b"ingested")])
+        assert db.get(b"k") == b"ingested"
+
+    def test_ingest_unsorted_rejected(self):
+        db = make_db()
+        with pytest.raises(KVStoreError):
+            db.ingest_external([(b"b", b"1"), (b"a", b"2")])
+
+    def test_ingest_empty_rejected(self):
+        with pytest.raises(KVStoreError):
+            make_db().ingest_external([])
+
+
+class TestCacheKey:
+    def test_roundtrip(self):
+        key = derive_cache_key(0xABCDEF, 7)
+        assert len(key) == CACHE_KEY_BYTES
+        assert split_cache_key(key) == (0xABCDEF, 7)
+
+    def test_truncation_to_96_bits(self):
+        wide = (1 << 120) | 42
+        assert split_cache_key(derive_cache_key(wide, 0))[0] == (
+            wide & ((1 << 96) - 1)
+        )
+
+    def test_aliasing(self):
+        assert keys_alias(5, 5 + (1 << 96))
+        assert not keys_alias(5, 6)
+        assert derive_cache_key(5, 3) == derive_cache_key(5 + (1 << 96), 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            derive_cache_key(-1, 0)
+        with pytest.raises(ConfigurationError):
+            derive_cache_key(1, 1 << 32)
+        with pytest.raises(ConfigurationError):
+            split_cache_key(b"short")

@@ -1,0 +1,141 @@
+"""Unit tests for p* machinery and competitive-ratio computation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.competitive import (
+    adaptive_competitive_ratio,
+    competitive_ratio_lower,
+    competitive_ratio_upper,
+    worst_ratio_over,
+)
+from repro.analysis.exact import (
+    bins_collision_probability,
+    cluster_collision_probability,
+    random_collision_probability,
+)
+from repro.analysis.optimal import (
+    brute_force_p_star_pair_11,
+    optimal_uniform_collision,
+    p_star_lower_bound,
+    p_star_pair,
+    p_star_upper_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOptimalUniform:
+    def test_equals_bins_h_exact(self):
+        m, n, h = 1 << 12, 5, 16
+        assert optimal_uniform_collision(
+            m, n, h
+        ) == bins_collision_probability(m, h, DemandProfile.uniform(n, h))
+
+    def test_pair_of_singletons_is_one_over_m(self):
+        for m in (7, 100, 1 << 20):
+            assert optimal_uniform_collision(m, 2, 1) == Fraction(1, m)
+            assert brute_force_p_star_pair_11(m) == Fraction(1, m)
+
+    def test_overfull(self):
+        assert optimal_uniform_collision(4, 2, 5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_uniform_collision(10, 0, 1)
+
+
+class TestPStarBounds:
+    def test_sandwich_holds(self):
+        m = 1 << 14
+        for demands in [(4, 4), (16, 256), (8, 8, 8), (1, 2, 4, 8)]:
+            profile = DemandProfile(demands)
+            low = p_star_lower_bound(m, profile)
+            high = p_star_upper_bound(m, profile)
+            assert 0 < low <= high <= 1
+
+    def test_trivial_profile_is_zero(self):
+        assert p_star_lower_bound(1 << 10, DemandProfile.of(5)) == 0
+        assert p_star_upper_bound(1 << 10, DemandProfile.of(5)) == 0
+
+    def test_uniform_profile_bounds_are_tight(self):
+        """On uniform profiles the lower bound equals Bins(h) = p*."""
+        m, n, h = 1 << 12, 4, 32
+        profile = DemandProfile.uniform(n, h)
+        exact = optimal_uniform_collision(m, n, h)
+        assert p_star_lower_bound(m, profile) == exact
+        assert p_star_upper_bound(m, profile) <= 2 * exact
+
+    def test_lower_bound_below_every_algorithm(self):
+        m = 1 << 12
+        for demands in [(4, 4), (2, 64), (8, 8, 8, 8)]:
+            profile = DemandProfile(demands)
+            low = p_star_lower_bound(m, profile)
+            assert low <= random_collision_probability(m, profile)
+            assert low <= cluster_collision_probability(m, profile)
+
+
+class TestPStarPair:
+    def test_sandwich_and_theta(self):
+        m = 1 << 16
+        for i, j in [(1, 1), (4, 16), (16, 4096)]:
+            low, high = p_star_pair(m, i, j)
+            assert low <= high
+            # Θ(i/m): both ends within a constant of i/m (j ≤ m/2 here).
+            assert Fraction(i, 2 * m) <= low
+            assert high <= Fraction(8 * i, m)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            p_star_pair(10, 5, 3)
+
+
+class TestCompetitiveRatios:
+    def test_upper_at_least_lower(self):
+        m = 1 << 14
+        profile = DemandProfile.of(8, 512)
+        p = cluster_collision_probability(m, profile)
+        assert competitive_ratio_upper(
+            m, profile, p
+        ) >= competitive_ratio_lower(m, profile, p)
+
+    def test_ratio_of_optimal_algorithm_is_small_on_uniform(self):
+        m, n, h = 1 << 14, 4, 32
+        profile = DemandProfile.uniform(n, h)
+        p = bins_collision_probability(m, h, profile)
+        assert competitive_ratio_upper(m, profile, p) == pytest.approx(
+            1.0
+        )
+
+    def test_trivial_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            competitive_ratio_upper(100, DemandProfile.of(5), Fraction(0))
+
+    def test_worst_ratio_over(self):
+        m = 1 << 14
+        profiles = [DemandProfile.of(2, 2), DemandProfile.of(2, 512)]
+        ratio, worst = worst_ratio_over(
+            m,
+            profiles,
+            lambda D: cluster_collision_probability(m, D),
+        )
+        # Cluster's ratio is worst on the skewed profile.
+        assert worst.demands == (2, 512)
+        assert ratio > 10
+
+    def test_adaptive_ratio_computation(self):
+        m = 1 << 14
+        profiles = [DemandProfile.of(4, 4)] * 10
+        indicators = [True, False] * 5
+        ratio = adaptive_competitive_ratio(m, indicators, profiles)
+        expected = 0.5 / float(
+            p_star_lower_bound(m, DemandProfile.of(4, 4))
+        )
+        assert ratio == pytest.approx(expected)
+
+    def test_adaptive_ratio_validation(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_competitive_ratio(100, [True], [])
+        with pytest.raises(ConfigurationError):
+            adaptive_competitive_ratio(100, [], [])

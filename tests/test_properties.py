@@ -1,0 +1,336 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.profiles import DemandProfile
+from repro.analysis.combinatorics import (
+    circular_disjoint_arcs_probability,
+    disjoint_subsets_probability,
+    disjoint_subsets_probability_estimate,
+)
+from repro.analysis.exact import (
+    bins_collision_probability,
+    cluster_collision_probability,
+    random_collision_probability,
+)
+from repro.core.bins import BinsGenerator
+from repro.core.cluster import ClusterGenerator
+from repro.core.cluster_star import ClusterStarGenerator
+from repro.core.intervals import CircularIntervalSet, split_arc
+from repro.core.random_gen import RandomGenerator
+from repro.idspace.encoding import (
+    id_from_base32,
+    id_from_bytes,
+    id_from_hex,
+    id_to_base32,
+    id_to_bytes,
+    id_to_hex,
+)
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import _decode_entries, _encode_entries
+from repro.kvstore.wal import WriteAheadLog
+from repro.simulation.montecarlo import wilson_interval
+from repro.simulation.seeds import derive_seed
+
+# Moderate example counts: the suite must stay fast and deterministic.
+FAST = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- generator invariants -----------------------------------------------------
+
+
+@FAST
+@given(
+    m=st.integers(8, 512),
+    count_fraction=st.floats(0.1, 1.0),
+    seed=st.integers(0, 2**32),
+)
+def test_random_prefix_is_permutation_prefix(m, count_fraction, seed):
+    count = max(1, int(m * count_fraction))
+    ids = RandomGenerator(m, random.Random(seed)).take(count)
+    assert len(set(ids)) == count
+    assert all(0 <= value < m for value in ids)
+
+
+@FAST
+@given(m=st.integers(2, 10**9), count=st.integers(1, 64), seed=st.integers())
+def test_cluster_ids_are_consecutive_mod_m(m, count, seed):
+    count = min(count, m)
+    ids = ClusterGenerator(m, random.Random(seed)).take(count)
+    for a, b in zip(ids, ids[1:]):
+        assert (b - a) % m == 1
+
+
+@FAST
+@given(
+    m=st.integers(4, 256),
+    k=st.integers(1, 16),
+    seed=st.integers(0, 2**32),
+)
+def test_bins_prefix_distinct_and_bin_aligned(m, k, seed):
+    k = min(k, m)
+    generator = BinsGenerator(m, k, random.Random(seed))
+    count = min(m, 3 * k + 1)
+    ids = generator.take(count)
+    assert len(set(ids)) == count
+    # Every complete group of k IDs is one ascending bin.
+    for start in range(0, count - k + 1, k):
+        chunk = ids[start : start + k]
+        assert chunk == list(range(chunk[0], chunk[0] + k))
+        assert chunk[0] % k == 0
+
+
+@SLOW
+@given(m=st.integers(16, 2048), seed=st.integers(0, 2**32))
+def test_cluster_star_runs_disjoint_and_doubling(m, seed):
+    generator = ClusterStarGenerator(m, random.Random(seed))
+    count = min(m // 2, 100)
+    ids = generator.take(count)
+    assert len(set(ids)) == count
+    lengths = [length for _, length in generator.runs]
+    for previous, current in zip(lengths, lengths[1:]):
+        assert current <= 2 * previous  # never grows faster than 2x
+
+
+# -- interval arithmetic -------------------------------------------------------
+
+
+@FAST
+@given(
+    m=st.integers(1, 1000),
+    start=st.integers(-2000, 2000),
+    length=st.integers(1, 1200),
+)
+def test_split_arc_covers_expected_positions(m, start, length):
+    pieces = split_arc(start, length, m)
+    covered = set()
+    for lo, hi in pieces:
+        assert 0 <= lo < hi <= m
+        covered.update(range(lo, hi))
+    expected = {(start + i) % m for i in range(min(length, m))}
+    assert covered == expected
+
+
+@SLOW
+@given(
+    m=st.integers(16, 300),
+    arcs=st.lists(
+        st.tuples(st.integers(0, 299), st.integers(1, 20)), max_size=6
+    ),
+    run_length=st.integers(1, 10),
+    seed=st.integers(0, 2**32),
+)
+def test_sampled_free_start_never_overlaps(m, arcs, run_length, seed):
+    cis = CircularIntervalSet(m)
+    for start, length in arcs:
+        cis.add(start % m, min(length, m))
+    if cis.count_free_starts(run_length) == 0:
+        return
+    start = cis.sample_free_start(run_length, random.Random(seed))
+    assert not cis.overlaps(start, run_length)
+
+
+# -- profile algebra ------------------------------------------------------------
+
+
+@FAST
+@given(st.lists(st.integers(1, 10**6), min_size=1, max_size=12))
+def test_rounding_produces_dominated_powers_of_two(demands):
+    profile = DemandProfile(tuple(demands))
+    rounded = profile.rounded()
+    assert rounded.n == profile.n
+    for original, reduced in zip(profile, rounded):
+        assert reduced <= original
+        assert reduced & (reduced - 1) == 0  # power of two
+    # Idempotence (Lemma 19's D⁻ is a fixpoint).
+    assert rounded.rounded() == rounded
+
+
+@FAST
+@given(st.lists(st.integers(1, 1000), min_size=1, max_size=10))
+def test_rank_distribution_counts_all_entries(demands):
+    rounded = DemandProfile(tuple(demands)).rounded()
+    ranks = rounded.rank_distribution()
+    assert sum(ranks) == rounded.n
+    assert ranks[-1] >= 1  # top rank is realized
+
+
+# -- exact probability invariants ------------------------------------------------
+
+
+@SLOW
+@given(
+    m=st.integers(8, 4096),
+    demands=st.lists(st.integers(1, 16), min_size=2, max_size=5),
+    seed=st.integers(0, 10**6),
+)
+def test_exact_probabilities_are_permutation_invariant(m, demands, seed):
+    if sum(demands) > m:
+        return
+    profile = DemandProfile(tuple(demands))
+    shuffled = list(demands)
+    random.Random(seed).shuffle(shuffled)
+    other = DemandProfile(tuple(shuffled))
+    assert cluster_collision_probability(
+        m, profile
+    ) == cluster_collision_probability(m, other)
+    assert random_collision_probability(
+        m, profile
+    ) == random_collision_probability(m, other)
+
+
+@SLOW
+@given(
+    m=st.integers(64, 4096),
+    demands=st.lists(st.integers(1, 16), min_size=2, max_size=5),
+)
+def test_cluster_dominates_random_pointwise(m, demands):
+    """Corollary 4 as a hard invariant: p_Cluster = O(p_Random);
+    with exact values the constant is 1 + o(1) — we assert 2."""
+    profile = DemandProfile(tuple(demands))
+    if profile.total > m // 2:
+        return
+    cluster = cluster_collision_probability(m, profile)
+    random_p = random_collision_probability(m, profile)
+    assert cluster <= 2 * random_p + Fraction(1, m)
+
+
+@SLOW
+@given(
+    universe=st.integers(10, 10**6),
+    sizes=st.lists(st.integers(0, 40), min_size=1, max_size=5),
+)
+def test_disjoint_probability_estimate_close_to_exact(universe, sizes):
+    if sum(sizes) > universe // 4:
+        return
+    exact = float(disjoint_subsets_probability(universe, sizes))
+    estimate = disjoint_subsets_probability_estimate(universe, sizes)
+    assert abs(estimate - exact) <= 0.02 * max(exact, 1e-12)
+
+
+@SLOW
+@given(
+    m=st.integers(4, 512),
+    lengths=st.lists(st.integers(1, 32), min_size=1, max_size=4),
+)
+def test_circular_arcs_probability_in_unit_interval(m, lengths):
+    p = circular_disjoint_arcs_probability(m, lengths)
+    assert 0 <= p <= 1
+
+
+# -- encodings & storage round trips -----------------------------------------------
+
+
+@FAST
+@given(value=st.integers(0, (1 << 128) - 1))
+def test_byte_hex_base32_roundtrip(value):
+    m = 1 << 128
+    assert id_from_bytes(id_to_bytes(value, m), m) == value
+    assert id_from_hex(id_to_hex(value, m), m) == value
+    assert id_from_base32(id_to_base32(value, m), m) == value
+
+
+@FAST
+@given(
+    entries=st.lists(
+        st.tuples(st.binary(min_size=1, max_size=20), st.binary(max_size=40)),
+        max_size=10,
+    )
+)
+def test_block_encoding_roundtrip(entries):
+    assert _decode_entries(_encode_entries(entries)) == entries
+
+
+@FAST
+@given(
+    records=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.binary(min_size=1, max_size=16),
+            st.binary(max_size=16),
+        ),
+        max_size=12,
+    )
+)
+def test_wal_roundtrip(records):
+    wal = WriteAheadLog()
+    for is_put, key, value in records:
+        if is_put:
+            wal.append_put(key, value)
+        else:
+            wal.append_delete(key)
+    restored = WriteAheadLog.deserialize(wal.serialize())
+    assert list(restored.records()) == list(wal.records())
+
+
+@FAST
+@given(st.lists(st.binary(min_size=1, max_size=24), max_size=50))
+def test_bloom_never_false_negative(keys):
+    bloom = BloomFilter(max(len(keys), 1), 8)
+    bloom.add_all(keys)
+    assert all(bloom.may_contain(key) for key in keys)
+
+
+@FAST
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(0, 20),
+            st.binary(min_size=1, max_size=8),
+        ),
+        max_size=60,
+    )
+)
+def test_memtable_matches_dict_model(ops):
+    table = MemTable()
+    model = {}
+    for is_put, key_index, value in ops:
+        key = f"key{key_index}".encode()
+        if is_put:
+            table.put(key, value)
+            model[key] = value
+        else:
+            table.delete(key)
+            model[key] = TOMBSTONE
+    for key, expected in model.items():
+        assert table.get(key) == expected
+    assert [k for k, _ in table.sorted_entries()] == sorted(model)
+
+
+# -- statistics ------------------------------------------------------------------
+
+
+@FAST
+@given(
+    successes=st.integers(0, 500),
+    extra=st.integers(0, 500),
+)
+def test_wilson_interval_well_formed(successes, extra):
+    trials = successes + extra
+    if trials == 0:
+        return
+    low, high = wilson_interval(successes, trials)
+    phat = successes / trials
+    assert 0.0 <= low <= phat <= high <= 1.0
+
+
+@FAST
+@given(root=st.integers(), path=st.lists(st.integers(), max_size=4))
+def test_derive_seed_is_64_bit(root, path):
+    value = derive_seed(root, *path)
+    assert 0 <= value < 1 << 64

@@ -1,0 +1,120 @@
+"""Tests for ASCII charts and JSON export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.framework import ExperimentResult
+from repro.experiments.render import (
+    ascii_chart,
+    chart_from_result,
+    result_to_json,
+)
+
+
+def make_result():
+    result = ExperimentResult(
+        experiment_id="T1",
+        title="test",
+        claim="claims",
+        columns=["x", "a", "b"],
+    )
+    for x in (1, 10, 100, 1000):
+        result.rows.append({"x": x, "a": x * 2.0, "b": x**1.5, "_h": []})
+    result.add_check("ok", True, "fine")
+    result.notes.append("note")
+    return result
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            [1, 10, 100],
+            {"alpha": [1, 10, 100], "beta": [100, 10, 1]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o=alpha" in chart and "x=beta" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_axes_drop_nonpositive(self):
+        chart = ascii_chart([1, 10], {"s": [0.0, 5.0]})
+        # Only one positive point survives; chart still renders.
+        assert "s" in chart
+
+    def test_all_nonpositive(self):
+        chart = ascii_chart([1, 2], {"s": [0, -1]}, title="t")
+        assert "no positive data" in chart
+
+    def test_linear_axes(self):
+        chart = ascii_chart(
+            [0, 5, 10], {"s": [0, 5, 10]}, log_x=False, log_y=False
+        )
+        assert "|" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {"s": [1]}, width=4)
+
+    def test_monotone_series_renders_monotone(self):
+        """Markers of an increasing series must not descend."""
+        chart = ascii_chart(
+            [1, 10, 100, 1000],
+            {"up": [1, 10, 100, 1000]},
+            width=40,
+            height=10,
+        )
+        rows = [line for line in chart.splitlines() if "|" in line]
+        positions = []
+        for row_index, line in enumerate(rows):
+            body = line.split("|", 1)[1]
+            for column, char in enumerate(body):
+                if char == "o":
+                    positions.append((column, row_index))
+        positions.sort()
+        for (c1, r1), (c2, r2) in zip(positions, positions[1:]):
+            assert r2 <= r1  # later x → same or higher on screen
+
+
+class TestChartFromResult:
+    def test_selects_columns(self):
+        chart = chart_from_result(make_result(), "x", ["a", "b"])
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_missing_x_rejected(self):
+        result = ExperimentResult("T", "t", "c", columns=["x"])
+        result.rows.append({"x": "text"})
+        with pytest.raises(ConfigurationError):
+            chart_from_result(result, "x", ["a"])
+
+
+class TestJsonExport:
+    def test_roundtrips_through_json(self):
+        payload = json.loads(result_to_json(make_result()))
+        assert payload["experiment_id"] == "T1"
+        assert payload["all_passed"] is True
+        assert len(payload["rows"]) == 4
+        assert payload["rows"][0]["x"] == 1
+        assert "_h" not in payload["rows"][0]
+        assert payload["checks"][0]["name"] == "ok"
+        assert payload["notes"] == ["note"]
+
+
+class TestCLIIntegration:
+    def test_experiment_json_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "E4", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "E4"
+
+    def test_worst_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["worst", "cluster", "--n", "3", "--d", "24", "--m", "4096"]
+        ) == 0
+        assert "worst found profile" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Unit tests for demand sequences, fol(S), and the Φ distribution."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.phi import PhiDistribution
+from repro.adversary.profiles import DemandProfile
+from repro.adversary.semi_adaptive import DemandSequence, FollowerAdversary
+from repro.core.cluster import ClusterGenerator
+from repro.errors import ConfigurationError, GameError
+from repro.simulation.game import Game
+
+
+class TestDemandSequence:
+    def test_valid_sequence(self):
+        seq = DemandSequence([0, 0, 1, 0, 2, 1])
+        assert seq.num_instances == 3
+        assert seq.final_profile().demands == (3, 2, 1)
+
+    def test_activation_order_enforced(self):
+        with pytest.raises(GameError):
+            DemandSequence([0, 2])  # instance 2 before instance 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(GameError):
+            DemandSequence([])
+
+    def test_from_profile_sequential(self):
+        seq = DemandSequence.from_profile(
+            DemandProfile.of(2, 3), order="sequential"
+        )
+        assert seq.steps == [0, 0, 1, 1, 1]
+
+    def test_from_profile_round_robin(self):
+        seq = DemandSequence.from_profile(
+            DemandProfile.of(2, 3), order="round_robin"
+        )
+        assert seq.steps == [0, 1, 0, 1, 1]
+
+    def test_from_profile_preserves_profile(self):
+        for order in ("sequential", "round_robin"):
+            profile = DemandProfile.of(4, 1, 3)
+            seq = DemandSequence.from_profile(profile, order=order)
+            assert seq.final_profile() == profile
+
+
+class TestFollowerAdversary:
+    def test_completes_without_collision(self):
+        seq = DemandSequence.from_profile(DemandProfile.of(3, 3))
+        follower = FollowerAdversary(seq)
+        game = Game(
+            lambda m, rng: ClusterGenerator(m, rng),
+            1 << 24,
+            follower,
+            seed=5,
+            stop_on_collision=False,
+        )
+        result = game.run()
+        assert result.profile.demands == (3, 3)
+
+    def test_stops_at_collision(self):
+        seq = DemandSequence.from_profile(
+            DemandProfile.of(50, 50), order="round_robin"
+        )
+        follower = FollowerAdversary(seq)
+        game = Game(
+            lambda m, rng: ClusterGenerator(m, rng),
+            4,  # collision almost immediately
+            follower,
+            seed=5,
+            stop_on_collision=False,
+        )
+        result = game.run()
+        assert result.collided
+        assert result.steps < 100
+
+    def test_min_instances_to_stop(self):
+        seq = DemandSequence.from_profile(
+            DemandProfile.of(10, 10, 10), order="sequential"
+        )
+        follower = FollowerAdversary(
+            seq,
+            stop_immediately_on_collision=False,
+            min_instances_to_stop=3,
+        )
+        game = Game(
+            lambda m, rng: ClusterGenerator(m, rng),
+            4,
+            follower,
+            seed=5,
+            stop_on_collision=False,
+        )
+        result = game.run()
+        assert result.profile.n >= 3 or not result.collided
+
+
+class TestPhiDistribution:
+    def test_k_matches_definition(self):
+        # k = floor(log2(m)/2): largest k with 2^(2k) <= m.
+        assert PhiDistribution(1 << 10).k == 5
+        assert PhiDistribution(1 << 11).k == 5
+        assert PhiDistribution(1 << 12).k == 6
+
+    def test_support_profiles_within_sqrt_m(self):
+        phi = PhiDistribution(1 << 12)
+        for point in phi.support():
+            assert max(point.profile.demands) ** 2 <= 1 << 12
+
+    def test_weights_sum_to_one(self):
+        phi = PhiDistribution(1 << 10)
+        assert sum(p.weight for p in phi.support()) == 1
+
+    def test_normalizer_bounded_by_8(self):
+        """The paper: W = Σ 2^(−max(i,j)) ≤ 8."""
+        for bits in (4, 10, 16, 24):
+            assert PhiDistribution(1 << bits).normalizer <= 8
+
+    def test_weight_formula(self):
+        phi = PhiDistribution(1 << 10)
+        w = phi.normalizer
+        for point in phi.support():
+            assert point.weight == Fraction(
+                1, 1 << max(point.i, point.j)
+            ) / w
+
+    def test_sampling_stays_in_support(self):
+        phi = PhiDistribution(1 << 10)
+        support = {p.profile.demands for p in phi.support()}
+        rng = random.Random(3)
+        for _ in range(200):
+            assert phi.sample(rng).demands in support
+
+    def test_expectation_exact(self):
+        phi = PhiDistribution(1 << 10)
+        # E[1] = 1 exactly.
+        assert phi.expectation(lambda profile: Fraction(1)) == 1.0
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhiDistribution(3)

@@ -1,0 +1,154 @@
+"""Unit tests for workload generators (distributions, YCSB, demand)."""
+
+import random
+
+import pytest
+
+from repro.adversary.profiles import DemandProfile
+from repro.errors import ConfigurationError, ProfileError
+from repro.workloads.demand import (
+    doubling_demand_sweep,
+    max_skew_profile,
+    random_compositions,
+    skewed_pair_grid,
+    uniform_profiles,
+    zipf_profiles,
+)
+from repro.workloads.distributions import (
+    LatestPicker,
+    ScrambledZipfianPicker,
+    UniformPicker,
+    ZipfianPicker,
+)
+from repro.workloads.ycsb import (
+    WorkloadSpec,
+    encode_key,
+    full_workload,
+    load_phase,
+    make_value,
+    run_phase,
+)
+
+
+class TestPickers:
+    def test_uniform_range(self, rng):
+        picker = UniformPicker(10)
+        picks = [picker.pick(rng) for _ in range(500)]
+        assert set(picks) <= set(range(10))
+        assert len(set(picks)) == 10
+
+    def test_zipf_is_skewed(self, rng):
+        picker = ZipfianPicker(100, theta=0.99)
+        picks = [picker.pick(rng) for _ in range(3000)]
+        head = sum(1 for p in picks if p < 10)
+        assert head > 0.4 * len(picks)  # top 10% gets >40% of traffic
+
+    def test_zipf_theta_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfianPicker(10, theta=0.0)
+
+    def test_scrambled_zipf_spreads_hot_keys(self, rng):
+        picker = ScrambledZipfianPicker(1000, theta=0.99)
+        picks = [picker.pick(rng) for _ in range(2000)]
+        hottest = max(set(picks), key=picks.count)
+        assert hottest >= 10  # the hot key is (whp) not simply rank 0
+
+    def test_latest_prefers_recent(self, rng):
+        picker = LatestPicker(1000)
+        picks = [picker.pick(rng) for _ in range(1000)]
+        assert all(0 <= p < 1000 for p in picks)
+        recent = sum(1 for p in picks if p >= 900)
+        assert recent > 0.5 * len(picks)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformPicker(0)
+        with pytest.raises(ConfigurationError):
+            LatestPicker(0)
+
+
+class TestYCSB:
+    def test_keys_sortable_fixed_width(self):
+        assert encode_key(5) < encode_key(10) < encode_key(200)
+
+    def test_make_value_size(self, rng):
+        assert len(make_value(rng, 48)) == 48
+
+    def test_load_phase_counts(self, rng):
+        spec = WorkloadSpec(record_count=25)
+        ops = list(load_phase(spec, rng))
+        assert len(ops) == 25
+        assert all(op == "put" for op, _, _ in ops)
+
+    def test_run_phase_mix_b(self, rng):
+        spec = WorkloadSpec(
+            workload="b", record_count=100, operation_count=2000
+        )
+        ops = list(run_phase(spec, rng))
+        reads = sum(1 for op, _, _ in ops if op == "get")
+        assert 0.9 < reads / len(ops) <= 1.0
+
+    def test_run_phase_d_inserts_new_keys(self, rng):
+        spec = WorkloadSpec(
+            workload="d", record_count=50, operation_count=400
+        )
+        ops = list(run_phase(spec, rng))
+        inserted = [
+            key for op, key, _ in ops if op == "put"
+        ]
+        assert inserted
+        assert all(key >= encode_key(50) for key in inserted)
+
+    def test_rmw_emits_get_then_put(self, rng):
+        spec = WorkloadSpec(
+            workload="f", record_count=20, operation_count=100
+        )
+        ops = list(run_phase(spec, rng))
+        assert len(ops) >= 100  # RMW expands to two ops
+        assert any(op == "put" for op, _, _ in ops)
+
+    def test_unknown_workload(self, rng):
+        spec = WorkloadSpec(workload="z")
+        with pytest.raises(ConfigurationError):
+            list(run_phase(spec, rng))
+
+    def test_full_workload_is_load_then_run(self, rng):
+        spec = WorkloadSpec(
+            workload="c", record_count=10, operation_count=20
+        )
+        ops = list(full_workload(spec, rng))
+        assert [op for op, _, _ in ops[:10]] == ["put"] * 10
+        assert len(ops) == 30
+
+
+class TestDemandGenerators:
+    def test_uniform_profiles(self):
+        profiles = list(uniform_profiles([2, 4], 8))
+        assert [p.demands for p in profiles] == [(8, 8), (8,) * 4]
+
+    def test_skewed_pair_grid(self):
+        grid = list(skewed_pair_grid(2))
+        assert [(i, j) for i, j, _ in grid] == [
+            (0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2),
+        ]
+        for i, j, profile in grid:
+            assert profile.demands == (1 << i, 1 << j)
+
+    def test_random_compositions_family(self):
+        for profile in random_compositions(4, 32, 20, seed=3):
+            assert profile.n == 4 and profile.total == 32
+
+    def test_zipf_profiles(self):
+        results = list(zipf_profiles(4, 64, [0.5, 1.5], seed=1))
+        assert [skew for skew, _ in results] == [0.5, 1.5]
+        assert all(p.total == 64 for _, p in results)
+
+    def test_max_skew(self):
+        assert max_skew_profile(4, 10).demands == (7, 1, 1, 1)
+        with pytest.raises(ProfileError):
+            max_skew_profile(1, 10)
+
+    def test_doubling_sweep(self):
+        assert list(doubling_demand_sweep(3, 25)) == [3, 6, 12, 24]
+        with pytest.raises(ProfileError):
+            list(doubling_demand_sweep(0, 10))

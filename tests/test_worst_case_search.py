@@ -1,0 +1,71 @@
+"""Tests for the empirical worst-profile search (Corollary 5 cross-check)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.profiles import DemandProfile
+from repro.adversary.worst_case import (
+    candidate_profiles,
+    find_worst_profile,
+)
+from repro.analysis.exact import (
+    bins_star_collision_probability,
+    cluster_collision_probability,
+    random_collision_probability,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCandidates:
+    def test_all_candidates_in_family(self):
+        for n, d in [(2, 10), (4, 64), (8, 100)]:
+            for profile in candidate_profiles(n, d):
+                assert profile.n == n
+                assert profile.total == d
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            candidate_profiles(1, 10)
+        with pytest.raises(ConfigurationError):
+            candidate_profiles(5, 3)
+
+
+class TestSearch:
+    def test_random_worst_is_balanced(self):
+        """Cor 5: Random's worst case maximizes ‖D‖₁²−‖D‖₂² — balanced."""
+        m, n, d = 1 << 16, 4, 64
+        profile, value = find_worst_profile(
+            lambda D: random_collision_probability(m, D), n, d
+        )
+        assert max(profile.demands) - min(profile.demands) <= 1
+        assert value == random_collision_probability(
+            m, DemandProfile.uniform(n, d // n)
+        )
+
+    def test_cluster_worst_value_matches_theorem1_scale(self):
+        """Cluster's exact probability is profile-shape-insensitive —
+        any search result must sit at Θ(nd/m)."""
+        m, n, d = 1 << 16, 4, 64
+        _profile, value = find_worst_profile(
+            lambda D: cluster_collision_probability(m, D), n, d
+        )
+        target = Fraction(n * d, m)
+        assert target / 4 <= value <= 2 * target
+
+    def test_search_never_below_canonicals(self):
+        m, n, d = 1 << 14, 4, 48
+        probability = lambda D: bins_star_collision_probability(m, D)
+        _profile, value = find_worst_profile(probability, n, d)
+        for candidate in candidate_profiles(n, d):
+            assert value >= probability(candidate)
+
+    def test_search_is_deterministic(self):
+        m, n, d = 1 << 14, 3, 30
+        a = find_worst_profile(
+            lambda D: random_collision_probability(m, D), n, d
+        )
+        b = find_worst_profile(
+            lambda D: random_collision_probability(m, D), n, d
+        )
+        assert a == b
