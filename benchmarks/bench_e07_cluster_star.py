@@ -1,15 +1,48 @@
 """E7 bench: Theorem 8 attack suite + Cluster* hot paths."""
 
+import functools
+import os
 import random
 
-from benchmarks.conftest import reproduce
+from benchmarks.conftest import BENCH_SEED, record_speedup, reproduce
 from repro.adversary.attacks import GreedyGapAttack
 from repro.core.cluster_star import ClusterStarGenerator
+from repro.simulation.batch import AttackFactory, SpecFactory
 from repro.simulation.game import Game
+from repro.simulation.montecarlo import estimate_collision_probability
 
 
 def test_e7_reproduce(benchmark):
     reproduce(benchmark, "E7")
+
+
+def test_e7_parallel_speedup_workers8(benchmark):
+    """Serial vs ``workers=8`` on the E7 attack workload.
+
+    Asserts the estimates are bit-identical and records the speedup in
+    the benchmark JSON (enforcing the >= 3x floor on hosts with >= 8
+    cores; see ``record_speedup``).
+    """
+    workers = int(os.environ.get("REPRO_BENCH_SPEEDUP_WORKERS", "8"))
+    trials = int(os.environ.get("REPRO_BENCH_SPEEDUP_TRIALS", "800"))
+    estimate = functools.partial(
+        estimate_collision_probability,
+        SpecFactory("cluster_star"),
+        1 << 20,
+        AttackFactory(GreedyGapAttack, n=8, d=256),
+        trials=trials,
+        seed=BENCH_SEED,
+    )
+    parallel = functools.partial(estimate, workers=workers)
+    record_speedup(
+        benchmark,
+        "e07_greedy_gap",
+        estimate,
+        # The parallel leg doubles as pytest-benchmark's sample, so the
+        # workload runs exactly twice (once serial, once parallel).
+        lambda: benchmark.pedantic(parallel, rounds=1, iterations=1),
+        workers,
+    )
 
 
 def test_cluster_star_next_id_throughput(benchmark):

@@ -1,6 +1,5 @@
 """E9 bench: the Ω(log m) lower-bound table + Φ machinery speed."""
 
-import random
 
 from benchmarks.conftest import reproduce
 from repro.adversary.phi import PhiDistribution

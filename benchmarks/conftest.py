@@ -16,6 +16,7 @@ quick mode so the harness completes in minutes — set
 """
 
 import os
+import time
 
 import pytest
 
@@ -24,10 +25,69 @@ from repro.experiments import ExperimentConfig, run_experiment
 BENCH_SEED = 20230414
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def bench_config() -> ExperimentConfig:
-    """Quick by default; REPRO_BENCH_FULL=1 switches to the full sweep."""
+    """Quick by default; REPRO_BENCH_FULL=1 switches to the full sweep.
+
+    ``REPRO_BENCH_SCALE`` multiplies every Monte-Carlo trial count (the
+    CI smoke job sets it well below 1) and ``REPRO_BENCH_WORKERS``
+    shards the trials across processes — estimates are bit-identical
+    either way.
+    """
     full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
-    return ExperimentConfig(quick=not full, seed=BENCH_SEED)
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS", "")
+    workers = int(workers_env) if workers_env else None
+    return ExperimentConfig(
+        quick=not full,
+        seed=BENCH_SEED,
+        trials_scale=scale,
+        workers=workers,
+    )
+
+
+def record_speedup(benchmark, label: str, serial_fn, parallel_fn, workers: int):
+    """Time ``serial_fn`` vs ``parallel_fn``, assert identical results,
+    and record the wall-clock speedup in the benchmark JSON.
+
+    The ≥3× floor is only asserted when the host actually has the
+    cores for it (and the run isn't a scaled-down smoke run); on small
+    machines the speedup is recorded for the artifact but not enforced.
+    """
+    start = time.perf_counter()
+    serial_result = serial_fn()
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_result = parallel_fn()
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel_result == serial_result, (
+        f"{label}: parallel result diverged from serial "
+        f"({parallel_result!r} != {serial_result!r})"
+    )
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    benchmark.extra_info[f"{label}_serial_seconds"] = serial_seconds
+    benchmark.extra_info[f"{label}_parallel_seconds"] = parallel_seconds
+    benchmark.extra_info[f"{label}_workers"] = workers
+    benchmark.extra_info[f"{label}_speedup"] = speedup
+    print(
+        f"\n{label}: serial {serial_seconds:.2f}s vs "
+        f"workers={workers} {parallel_seconds:.2f}s -> {speedup:.2f}x"
+    )
+    cores = os.cpu_count() or 1
+    scaled_down = float(os.environ.get("REPRO_BENCH_SCALE", "1")) < 1
+    if cores >= workers and not scaled_down:
+        assert speedup >= 3.0, (
+            f"{label}: expected >= 3x speedup at workers={workers} on a "
+            f"{cores}-core host, measured {speedup:.2f}x"
+        )
+    return speedup
 
 
 def reproduce(benchmark, experiment_id: str):

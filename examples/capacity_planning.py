@@ -9,7 +9,6 @@ collision budget, how many objects can each algorithm handle?
 Run:  python examples/capacity_planning.py
 """
 
-from fractions import Fraction
 
 from repro import DemandProfile
 from repro.analysis import (

@@ -15,6 +15,23 @@ Public API highlights:
 * the KV-store substrate: :class:`repro.kvstore.MiniRocks`,
   :class:`repro.distributed.ClusterSimulator` (imported lazily; see
   those subpackages).
+
+Parallel estimation
+-------------------
+
+Monte-Carlo estimation scales out and vectorizes
+(:mod:`repro.simulation.batch`):
+
+* ``estimate_collision_probability(..., workers=N)`` shards trials
+  across ``N`` processes; per-trial seed derivation makes the result
+  **bit-identical at any worker count**. Factories must pickle to
+  cross process boundaries — use :class:`SpecFactory`,
+  :class:`ObliviousFactory`, or :class:`AttackFactory` instead of
+  lambdas.
+* every :class:`IDGenerator` offers ``generate_batch(count)``, a
+  vectorized fast path producing whole demand vectors per call
+  (optimized for ``Random``, ``Bins``, ``Cluster`` and ``Cluster*``);
+  ``estimate_profile_collision`` uses it by default.
 """
 
 from repro.adversary import (
@@ -51,9 +68,12 @@ from repro.errors import (
     ReproError,
 )
 from repro.simulation import (
+    AttackFactory,
     Estimate,
     Game,
     GameResult,
+    ObliviousFactory,
+    SpecFactory,
     estimate_collision_probability,
     estimate_profile_collision,
     play_profile,
@@ -86,6 +106,9 @@ __all__ = [
     "Estimate",
     "estimate_collision_probability",
     "estimate_profile_collision",
+    "SpecFactory",
+    "ObliviousFactory",
+    "AttackFactory",
     # analysis
     "exact_collision_probability",
     "optimal_uniform_collision",

@@ -170,7 +170,7 @@ def geometric_profile(n: int, largest: int) -> DemandProfile:
     experiments where `Cluster` is far from optimal.
     """
     if n < 1 or largest < 1:
-        raise ProfileError(f"need n >= 1 and largest >= 1")
+        raise ProfileError("need n >= 1 and largest >= 1")
     demands: List[int] = []
     value = largest
     for _ in range(n):

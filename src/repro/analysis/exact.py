@@ -25,7 +25,6 @@ exclusive *within* an instance); use Monte Carlo
 
 from __future__ import annotations
 
-import math
 from fractions import Fraction
 from typing import Optional
 

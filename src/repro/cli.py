@@ -34,6 +34,7 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.idspace.encoding import id_to_hex
+from repro.simulation.batch import AttackFactory, SpecFactory
 from repro.simulation.montecarlo import (
     estimate_collision_probability,
     estimate_profile_collision,
@@ -81,7 +82,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    factory = lambda m, rng: make_generator(args.algorithm, m, rng)
+    factory = SpecFactory(args.algorithm)
     if args.attack:
         attack_cls = {
             "closest_pair": ClosestPairAttack,
@@ -92,15 +93,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         estimate = estimate_collision_probability(
             factory,
             args.m,
-            lambda rng: attack_cls(n=n, d=d),
+            AttackFactory(attack_cls, n=n, d=d),
             trials=args.trials,
             seed=args.seed,
+            workers=args.workers,
         )
         label = f"{args.attack} attack (n={n}, d={d})"
     else:
         profile = _parse_profile(args.profile)
         estimate = estimate_profile_collision(
-            factory, args.m, profile, trials=args.trials, seed=args.seed
+            factory,
+            args.m,
+            profile,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
         )
         label = f"oblivious profile {profile.demands}"
     print(f"{args.algorithm} vs {label} on m={args.m}: {estimate}")
@@ -110,7 +117,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.render import chart_from_result, result_to_json
 
-    config = ExperimentConfig(quick=args.quick, seed=args.seed)
+    config = ExperimentConfig(
+        quick=args.quick, seed=args.seed, workers=args.workers
+    )
     ids = experiment_ids() if args.id.lower() == "all" else [args.id]
     exit_code = 0
     for eid in ids:
@@ -188,7 +197,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(quick=args.quick, seed=args.seed)
+    config = ExperimentConfig(
+        quick=args.quick, seed=args.seed, workers=args.workers
+    )
     results = run_all(config)
     sections = [result.to_markdown() for result in results]
     passed = sum(1 for r in results if r.all_passed)
@@ -203,6 +214,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
         handle.write(content)
     print(f"wrote {args.output} ({passed}/{len(results)} experiments green)")
     return 0 if passed == len(results) else 1
+
+
+def _add_workers_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard Monte-Carlo trials across N processes "
+        "(0 = one per CPU); results are bit-identical for any N",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -237,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--attack", choices=["closest_pair", "greedy_gap"], default=None,
         help="play adaptively with this attack instead of obliviously",
     )
+    _add_workers_option(simu)
 
     exp = sub.add_parser("experiment", help="run one experiment")
     exp.add_argument("id", help="E1..E12, A1, A2, or 'all'")
@@ -251,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="XCOL:YCOL[,YCOL...]",
         help="also draw an ASCII chart of the selected columns",
     )
+    _add_workers_option(exp)
 
     compare = sub.add_parser(
         "compare", help="side-by-side safety table for a deployment"
@@ -273,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--output", default="EXPERIMENTS.md")
     rep.add_argument("--quick", action="store_true")
     rep.add_argument("--seed", type=int, default=20230414)
+    _add_workers_option(rep)
 
     return parser
 

@@ -78,6 +78,34 @@ class IDGenerator(abc.ABC):
             raise ConfigurationError(f"count must be >= 0, got {count}")
         return [self.next_id() for _ in range(count)]
 
+    def generate_batch(self, count: int) -> List[int]:
+        """Produce up to ``count`` IDs as one vector.
+
+        The returned list is exactly what ``count`` repeated
+        :meth:`next_id` calls would have produced — same values, same
+        order, same randomness consumption — so batched and serial
+        callers are interchangeable bit for bit.
+
+        Exhaustion mid-batch is not an error: the IDs produced before
+        the instance ran out are returned, and callers detect the
+        condition as ``len(result) < count``. A subsequent ``next_id``
+        (or ``generate_batch``) raises (respectively returns ``[]``)
+        just as the serial path would.
+
+        Subclasses override this with vectorized fast paths; the
+        default simply drives :meth:`next_id`.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        out: List[int] = []
+        append = out.append
+        for _ in range(count):
+            try:
+                append(self.next_id())
+            except IDSpaceExhaustedError:
+                break
+        return out
+
     def iter_ids(self) -> Iterator[int]:
         """Iterate over IDs until the instance is exhausted."""
         while True:

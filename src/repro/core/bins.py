@@ -85,3 +85,34 @@ class BinsGenerator(IDGenerator):
         value = self._current_bin * self.k + self._offset
         self._offset += 1
         return value
+
+    def generate_batch(self, count: int) -> List[int]:
+        """Batched fast path: whole in-bin runs per iteration.
+
+        Within a bin the IDs are consecutive, so each loop turn emits
+        one ``range`` slice (the rest of the current bin, a leftover
+        stretch, or a fresh bin). Randomness is consumed only by
+        :meth:`_pick_fresh_bin`, in the same order as the serial path.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        k = self.k
+        binned_total = self._num_bins * k
+        out: List[int] = []
+        while len(out) < count and self._count < self.m:
+            if self._count >= binned_total:
+                # Leftover IDs: one ascending slice to the requested end.
+                start = self._leftover_start + (self._count - binned_total)
+                take = min(count - len(out), self.m - self._count)
+                out.extend(range(start, start + take))
+                self._count += take
+                continue
+            if self._current_bin is None or self._offset == k:
+                self._current_bin = self._pick_fresh_bin()
+                self._offset = 0
+            base = self._current_bin * k + self._offset
+            take = min(count - len(out), k - self._offset)
+            out.extend(range(base, base + take))
+            self._offset += take
+            self._count += take
+        return out

@@ -16,9 +16,10 @@ into each other, inflating the probability by a factor of ``n``
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.base import IDGenerator
+from repro.errors import ConfigurationError
 
 
 class ClusterGenerator(IDGenerator):
@@ -37,3 +38,21 @@ class ClusterGenerator(IDGenerator):
 
     def _generate(self) -> int:
         return (self._start + self._count) % self.m
+
+    def generate_batch(self, count: int) -> List[int]:
+        """Vectorized fast path: one arc slice instead of ``count`` calls.
+
+        The next ``count`` IDs are a contiguous arc of ``Z_m``, so they
+        come out as at most two ``range`` extensions (the second when
+        the arc wraps past ``m``). No randomness is consumed.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        take = min(count, self.m - self._count)
+        start = (self._start + self._count) % self.m
+        head = min(take, self.m - start)
+        out = list(range(start, start + head))
+        if take > head:  # the arc wraps around 0
+            out.extend(range(take - head))
+        self._count += take
+        return out

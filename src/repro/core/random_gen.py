@@ -21,6 +21,7 @@ import random
 from typing import List, Optional, Set
 
 from repro.core.base import IDGenerator
+from repro.errors import ConfigurationError
 
 
 class RandomGenerator(IDGenerator):
@@ -52,3 +53,45 @@ class RandomGenerator(IDGenerator):
             if value not in self._used:
                 self._used.add(value)
                 return value
+
+    def generate_batch(self, count: int) -> List[int]:
+        """Batched fast path, bit-identical to repeated ``next_id``.
+
+        The per-draw logic (rejection sampling, dense-regime switch,
+        tail drain) is replicated with hoisted locals and sliced tail
+        pops, consuming ``self.rng`` in exactly the serial order.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        m = self.m
+        out: List[int] = []
+        append = out.append
+        while len(out) < count and self._count < m:
+            if self._tail is not None:
+                # Tail holds the remaining IDs in pop-from-the-end
+                # order: drain a whole slice at once.
+                take = min(count - len(out), len(self._tail))
+                out.extend(self._tail[: -take - 1 : -1])
+                del self._tail[-take:]
+                self._count += take
+                continue
+            used = self._used
+            if 2 * len(used) >= m:
+                remaining = [i for i in range(m) if i not in used]
+                self.rng.shuffle(remaining)
+                self._tail = remaining
+                self._used = set()
+                continue
+            randrange = self.rng.randrange
+            used_add = used.add
+            # The serial path re-checks density before every draw; so
+            # must we, or the RNG streams would diverge at the switch.
+            while len(out) < count and 2 * len(used) < m:
+                while True:
+                    value = randrange(m)
+                    if value not in used:
+                        used_add(value)
+                        append(value)
+                        break
+                self._count += 1
+        return out

@@ -9,9 +9,9 @@ cause on the read path.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import zlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.distributed.migration import (
     MigrationEvent,
@@ -86,8 +86,13 @@ class ClusterSimulator:
     # -- routing -----------------------------------------------------------
 
     def node_for_key(self, key: bytes) -> Node:
-        """Static hash routing of keys to nodes."""
-        return self.nodes[hash(key) % len(self.nodes)]
+        """Static hash routing of keys to nodes.
+
+        Uses CRC32 rather than the builtin ``hash``, whose per-process
+        salting (``PYTHONHASHSEED``) would make routing — and therefore
+        every simulated collision — unreproducible across runs.
+        """
+        return self.nodes[zlib.crc32(key) % len(self.nodes)]
 
     def put(self, key: bytes, value: bytes) -> None:
         self.node_for_key(key).put(key, value)

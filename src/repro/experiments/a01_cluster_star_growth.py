@@ -24,7 +24,7 @@ while g = 1 pays the Random birthday cost.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.adversary.attacks import ClosestPairAttack, GreedyGapAttack
 from repro.adversary.profiles import DemandProfile

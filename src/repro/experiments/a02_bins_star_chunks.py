@@ -18,8 +18,6 @@ helps and eventually hurts badly.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.analysis.competitive import competitive_ratio_upper
 from repro.analysis.exact import bins_star_collision_probability
 from repro.core.bins_star import chunk_count

@@ -19,8 +19,8 @@ from typing import List
 from repro.adversary.profiles import DemandProfile, zipf_profile
 from repro.analysis.bounds import theorem1_cluster
 from repro.analysis.exact import cluster_collision_probability
-from repro.core.cluster import ClusterGenerator
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.simulation.batch import SpecFactory
 from repro.simulation.montecarlo import estimate_profile_collision
 from repro.workloads.demand import max_skew_profile
 
@@ -79,11 +79,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     for row in mc_rows:
         profile = row["_profile"]
         estimate = estimate_profile_collision(
-            lambda mm, rr: ClusterGenerator(mm, rr),
+            SpecFactory("cluster"),
             m,
             profile,
             trials=config.trials(2000),
             seed=config.seed,
+            workers=config.workers,
         )
         row["mc"] = estimate.probability
         exact = row["exact"]

@@ -19,8 +19,8 @@ from typing import List
 from repro.adversary.profiles import DemandProfile, zipf_profile
 from repro.analysis.bounds import theorem2_bins
 from repro.analysis.exact import bins_collision_probability
-from repro.core.bins import BinsGenerator
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.simulation.batch import SpecFactory
 from repro.simulation.montecarlo import estimate_profile_collision
 
 EXPERIMENT_ID = "E2"
@@ -81,11 +81,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     # MC cross-check a few rows.
     for row in result.rows[:: max(1, len(result.rows) // 3)]:
         estimate = estimate_profile_collision(
-            lambda mm, rr, k=row["k"]: BinsGenerator(mm, k, rr),
+            SpecFactory("bins:{}".format(row["k"])),
             m,
             row["_profile"],
             trials=config.trials(1500),
             seed=config.seed,
+            workers=config.workers,
         )
         row["mc"] = estimate.probability
         result.add_check(

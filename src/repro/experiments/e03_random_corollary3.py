@@ -14,8 +14,8 @@ from typing import List
 from repro.adversary.profiles import DemandProfile, zipf_profile
 from repro.analysis.bounds import corollary3_random
 from repro.analysis.exact import random_collision_probability
-from repro.core.random_gen import RandomGenerator
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.simulation.batch import SpecFactory
 from repro.simulation.montecarlo import estimate_profile_collision
 
 EXPERIMENT_ID = "E3"
@@ -63,11 +63,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 )
     for row in result.rows[:: max(1, len(result.rows) // 3)]:
         estimate = estimate_profile_collision(
-            lambda mm, rr: RandomGenerator(mm, rr),
+            SpecFactory("random"),
             m,
             row["_profile"],
             trials=config.trials(1500),
             seed=config.seed,
+            workers=config.workers,
         )
         row["mc"] = estimate.probability
         result.add_check(

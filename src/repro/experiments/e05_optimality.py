@@ -13,7 +13,6 @@ Three measured components:
 
 from __future__ import annotations
 
-import math
 from typing import List
 
 from repro.adversary.profiles import (

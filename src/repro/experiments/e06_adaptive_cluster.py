@@ -21,8 +21,8 @@ from repro.analysis.bounds import (
     lemma7_adaptive_cluster,
 )
 from repro.analysis.exact import cluster_collision_probability
-from repro.core.cluster import ClusterGenerator
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.simulation.batch import AttackFactory, SpecFactory
 from repro.simulation.montecarlo import estimate_collision_probability
 
 EXPERIMENT_ID = "E6"
@@ -49,11 +49,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     oblivious_series: List[float] = []
     for n in n_values:
         estimate = estimate_collision_probability(
-            lambda mm, rr: ClusterGenerator(mm, rr),
+            SpecFactory("cluster"),
             m,
-            lambda rng, n=n: ClosestPairAttack(n=n, d=d),
+            AttackFactory(ClosestPairAttack, n=n, d=d),
             trials=trials,
             seed=config.seed + n,
+            workers=config.workers,
         )
         # The attack has a closed form (spacings of n uniform points):
         # the Monte-Carlo column must straddle it.

@@ -24,9 +24,8 @@ from repro.analysis.bounds import (
     lemma7_adaptive_cluster,
     theorem8_cluster_star,
 )
-from repro.core.cluster import ClusterGenerator
-from repro.core.cluster_star import ClusterStarGenerator
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.simulation.batch import AttackFactory, SpecFactory
 from repro.simulation.montecarlo import estimate_collision_probability
 
 EXPERIMENT_ID = "E7"
@@ -75,18 +74,20 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         trials = trials_for[attack_name]
         for n in n_values:
             star = estimate_collision_probability(
-                lambda mm, rr: ClusterStarGenerator(mm, rr),
+                SpecFactory("cluster_star"),
                 m,
-                lambda rng, n=n, cls=attack_cls: cls(n=n, d=d),
+                AttackFactory(attack_cls, n=n, d=d),
                 trials=trials,
                 seed=config.seed + n,
+                workers=config.workers,
             )
             plain = estimate_collision_probability(
-                lambda mm, rr: ClusterGenerator(mm, rr),
+                SpecFactory("cluster"),
                 m,
-                lambda rng, n=n, cls=attack_cls: cls(n=n, d=d),
+                AttackFactory(attack_cls, n=n, d=d),
                 trials=trials,
                 seed=config.seed + n,
+                workers=config.workers,
             )
             target = theorem8_cluster_star(m, n, d)
             star_ratio = star.probability / target

@@ -24,7 +24,6 @@ ratio (with Monte-Carlo slack).
 
 from __future__ import annotations
 
-import random
 from fractions import Fraction
 from typing import Callable, List, Tuple
 

@@ -17,7 +17,7 @@ UUIDP algorithms as the file-ID source. Measured per algorithm:
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict
 
 from repro.adversary.profiles import DemandProfile
 from repro.analysis.exact import (

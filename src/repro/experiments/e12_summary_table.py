@@ -32,12 +32,8 @@ from repro.analysis.exact import (
     random_collision_probability,
 )
 from repro.analysis.optimal import p_star_lower_bound
-from repro.core.bins import BinsGenerator
-from repro.core.bins_star import BinsStarGenerator
-from repro.core.cluster import ClusterGenerator
-from repro.core.cluster_star import ClusterStarGenerator
-from repro.core.random_gen import RandomGenerator
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
+from repro.simulation.batch import AttackFactory, SpecFactory
 from repro.simulation.game import Game
 from repro.simulation.montecarlo import (
     estimate_collision_probability,
@@ -58,11 +54,11 @@ D_TOTAL = 2048
 SKEW_PAIR = DemandProfile.of(16, 1024)
 
 FACTORIES: Dict[str, Callable] = {
-    "random": lambda mm, rr: RandomGenerator(mm, rr),
-    "cluster": lambda mm, rr: ClusterGenerator(mm, rr),
-    "bins(256)": lambda mm, rr: BinsGenerator(mm, 256, rr),
-    "cluster*": lambda mm, rr: ClusterStarGenerator(mm, rr),
-    "bins*": lambda mm, rr: BinsStarGenerator(mm, rr),
+    "random": SpecFactory("random"),
+    "cluster": SpecFactory("cluster"),
+    "bins(256)": SpecFactory("bins:256"),
+    "cluster*": SpecFactory("cluster_star"),
+    "bins*": SpecFactory("bins_star"),
 }
 
 EXACT: Dict[str, Optional[Callable[[DemandProfile], Fraction]]] = {
@@ -99,6 +95,7 @@ def _oblivious_worst_case(
         estimate = estimate_profile_collision(
             FACTORIES[name], M, profile,
             trials=config.trials(1000), seed=config.seed,
+            workers=config.workers,
         )
         worst = max(worst, estimate.probability)
     return worst
@@ -114,6 +111,7 @@ def _competitive_oblivious(
         estimate = estimate_profile_collision(
             FACTORIES[name], M, SKEW_PAIR,
             trials=config.trials(4000), seed=config.seed,
+            workers=config.workers,
         )
         p_algorithm = Fraction(estimate.probability).limit_denominator(
             10**9
@@ -129,8 +127,9 @@ def _adaptive_worst_case(name: str, config: ExperimentConfig) -> float:
         )
         estimate = estimate_collision_probability(
             FACTORIES[name], M,
-            lambda rng, cls=attack_cls: cls(n=N, d=D_TOTAL),
+            AttackFactory(attack_cls, n=N, d=D_TOTAL),
             trials=trials, seed=config.seed,
+            workers=config.workers,
         )
         worst = max(worst, estimate.probability)
     return worst

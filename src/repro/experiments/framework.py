@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,9 @@ class ExperimentConfig:
     seed: int = 20230414  # the paper's arXiv date
     #: Multiplier on Monte-Carlo trial counts.
     trials_scale: float = 1.0
+    #: Worker processes for Monte-Carlo estimation (None/1 = serial,
+    #: 0 = one per CPU). Results are bit-identical at any worker count.
+    workers: Optional[int] = None
 
     def trials(self, base: int) -> int:
         """Trial count: ``base`` scaled, quartered in quick mode."""
@@ -126,9 +129,9 @@ class ExperimentResult:
     ) -> None:
         """Assert ``winners[i] <= slack * losers[i]`` pointwise."""
         violations = [
-            (w, l)
-            for w, l in zip(winners, losers)
-            if w > slack * l
+            (winner, loser)
+            for winner, loser in zip(winners, losers)
+            if winner > slack * loser
         ]
         self.add_check(
             name,

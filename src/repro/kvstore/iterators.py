@@ -12,7 +12,6 @@ from __future__ import annotations
 import heapq
 from typing import Iterator, List, Optional, Tuple
 
-from repro.errors import KVStoreError
 from repro.kvstore.memtable import TOMBSTONE
 
 

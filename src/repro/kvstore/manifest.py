@@ -11,7 +11,7 @@ first); L1+ files are kept non-overlapping and sorted by min_key.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import KVStoreError
 from repro.kvstore.sstable import SSTable

@@ -1,5 +1,13 @@
-"""Game engine, Monte-Carlo estimation, and seed management."""
+"""Game engine, Monte-Carlo estimation, parallel batching, and seeds."""
 
+from repro.simulation.batch import (
+    AttackFactory,
+    ObliviousFactory,
+    SpecFactory,
+    play_trial,
+    resolve_workers,
+    run_trials,
+)
 from repro.simulation.game import Game, GameResult, play_profile
 from repro.simulation.montecarlo import (
     Estimate,
@@ -20,4 +28,10 @@ __all__ = [
     "derive_seed",
     "rng_for",
     "seed_stream",
+    "SpecFactory",
+    "ObliviousFactory",
+    "AttackFactory",
+    "play_trial",
+    "run_trials",
+    "resolve_workers",
 ]

@@ -1,0 +1,327 @@
+"""Parallel, batched Monte-Carlo trial execution.
+
+This module is the engine room behind
+:func:`repro.simulation.montecarlo.estimate_collision_probability`:
+
+* **Sharding** — independent seeded trials are strided across worker
+  processes (``concurrent.futures.ProcessPoolExecutor``). Every trial's
+  randomness derives from ``(root seed, trial index)`` alone via
+  :func:`repro.simulation.seeds.derive_seed`, so the collision count —
+  and therefore the :class:`~repro.simulation.montecarlo.Estimate` — is
+  bit-identical at any worker count, including the serial path.
+* **Batching** — oblivious sequential games skip the step-by-step game
+  loop entirely: each instance produces its whole demand vector through
+  :meth:`repro.core.base.IDGenerator.generate_batch` and collisions are
+  detected with set operations. The per-trial collision outcome is
+  provably the same as the game loop's, so estimates never change.
+
+Worker processes must be able to *pickle* the instance and adversary
+factories. The lambdas that are idiomatic for in-process use don't
+pickle, so this module also ships three picklable factory shims:
+:class:`SpecFactory` (registry spec string → generator),
+:class:`ObliviousFactory` (demand profile → oblivious adversary) and
+:class:`AttackFactory` (adversary class + kwargs → adaptive adversary).
+Unpicklable factories silently degrade to the serial path (same
+results, no speedup) after emitting a :class:`RuntimeWarning`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.adversary.base import Adversary, ObliviousAdversary
+from repro.adversary.profiles import DemandProfile
+from repro.core.registry import make_generator
+from repro.errors import ConfigurationError, GameError
+from repro.simulation.game import Game, InstanceFactory
+from repro.simulation.seeds import derive_seed, rng_for
+
+#: Seed-path label for the per-trial adversary RNG. Must stay in sync
+#: with the historical value used by ``estimate_collision_probability``
+#: so existing seeds reproduce existing estimates.
+ADVERSARY_SEED_LABEL = 0xAD
+
+AdversaryFactory = Callable[..., Adversary]
+
+
+# ---------------------------------------------------------------------------
+# Picklable factory shims
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpecFactory:
+    """A picklable :data:`InstanceFactory` built from a registry spec.
+
+    ``SpecFactory("bins:16")(m, rng)`` is
+    ``make_generator("bins:16", m, rng)``; unlike the equivalent lambda
+    it crosses process boundaries, which is what lets experiments and
+    the CLI fan trials out across workers.
+    """
+
+    spec: str
+
+    def __call__(self, m: int, rng) -> Any:
+        return make_generator(self.spec, m, rng)
+
+
+@dataclass(frozen=True)
+class ObliviousFactory:
+    """A picklable adversary factory replaying a fixed demand profile.
+
+    With the default ``order="sequential"`` the factory is also
+    *batchable*: :func:`play_trial` recognizes it and switches to the
+    vectorized ``generate_batch`` trial path.
+    """
+
+    profile: DemandProfile
+    order: str = "sequential"
+
+    def __call__(self, rng) -> Adversary:
+        return ObliviousAdversary(self.profile, order=self.order, rng=rng)
+
+
+@dataclass(frozen=True)
+class AttackFactory:
+    """A picklable adversary factory from a class and keyword arguments.
+
+    ``AttackFactory(ClosestPairAttack, n=8, d=1024)`` builds a fresh
+    (stateful) attack per trial, like the lambdas it replaces. The class
+    is pickled by reference, so any module-level adversary class works.
+    """
+
+    attack_cls: type
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __init__(self, attack_cls: type, **kwargs: Any):
+        object.__setattr__(self, "attack_cls", attack_cls)
+        object.__setattr__(self, "kwargs", kwargs)
+
+    def __call__(self, rng) -> Adversary:
+        return self.attack_cls(**self.kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Single-trial execution (game loop or vectorized batch path)
+# ---------------------------------------------------------------------------
+
+
+def _batchable_profile(
+    adversary_factory: AdversaryFactory,
+) -> Optional[DemandProfile]:
+    """The demand profile, if the factory admits the batched fast path."""
+    if (
+        isinstance(adversary_factory, ObliviousFactory)
+        and adversary_factory.order == "sequential"
+        # Empty profiles must keep flowing through the game loop, which
+        # rejects them ("adversary stopped without making any request");
+        # the batched path would silently report no collision instead.
+        and len(adversary_factory.profile.demands) > 0
+    ):
+        return adversary_factory.profile
+    return None
+
+
+def _play_profile_trial_batched(
+    factory: InstanceFactory,
+    m: int,
+    profile: DemandProfile,
+    game_seed: int,
+) -> bool:
+    """One oblivious sequential trial without the game loop.
+
+    Instance ``i`` gets ``rng_for(game_seed, i)`` — the exact RNG the
+    :class:`Game` engine would hand it — and emits its whole demand via
+    ``generate_batch``. The trial collides iff two instances share an
+    ID, and stops at the first mid-batch exhaustion, mirroring the
+    engine's semantics, so the collision outcome is identical.
+    """
+    seen: set = set()
+    for index, demand in enumerate(profile.demands):
+        generator = factory(m, rng_for(game_seed, index))
+        ids = generator.generate_batch(demand)
+        fresh = set(ids)
+        if len(fresh) != len(ids):
+            raise GameError(
+                f"generator bug: instance {index} repeated an ID"
+            )
+        if not seen.isdisjoint(fresh):
+            return True
+        seen |= fresh
+        if len(ids) < demand:  # exhausted mid-batch: the game stops here
+            return False
+    return False
+
+
+def play_trial(
+    factory: InstanceFactory,
+    m: int,
+    adversary_factory: AdversaryFactory,
+    seed: int,
+    trial: int,
+    stop_on_collision: bool = True,
+    max_steps: Optional[int] = None,
+    batch: bool = False,
+) -> bool:
+    """Play trial number ``trial`` and return whether it collided.
+
+    This is *the* definition of a trial: both the serial loop and every
+    worker process call it, which is what makes estimates independent
+    of how trials are scheduled.
+    """
+    if batch and max_steps is None:
+        profile = _batchable_profile(adversary_factory)
+        if profile is not None:
+            return _play_profile_trial_batched(
+                factory, m, profile, derive_seed(seed, trial)
+            )
+    adversary = adversary_factory(rng_for(seed, trial, ADVERSARY_SEED_LABEL))
+    game = Game(
+        factory,
+        m,
+        adversary,
+        seed=derive_seed(seed, trial),
+        stop_on_collision=stop_on_collision,
+    )
+    return game.run(max_steps=max_steps).collided
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution
+# ---------------------------------------------------------------------------
+
+#: Everything a worker needs to play its stride of trials.
+_TrialBlock = Tuple[
+    InstanceFactory,  # factory
+    int,  # m
+    AdversaryFactory,  # adversary_factory
+    int,  # seed
+    int,  # offset — first trial index of this block
+    int,  # stride — number of blocks (trials offset, offset+stride, ...)
+    int,  # trials — total trial count across all blocks
+    bool,  # stop_on_collision
+    Optional[int],  # max_steps
+    bool,  # batch
+]
+
+
+def _run_trial_block(payload: _TrialBlock) -> int:
+    """Play trials ``offset, offset+stride, ...`` and count collisions."""
+    (
+        factory,
+        m,
+        adversary_factory,
+        seed,
+        offset,
+        stride,
+        trials,
+        stop_on_collision,
+        max_steps,
+        batch,
+    ) = payload
+    collisions = 0
+    for trial in range(offset, trials, stride):
+        if play_trial(
+            factory,
+            m,
+            adversary_factory,
+            seed,
+            trial,
+            stop_on_collision=stop_on_collision,
+            max_steps=max_steps,
+            batch=batch,
+        ):
+            collisions += 1
+    return collisions
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers=`` option to a concrete process count.
+
+    ``None`` and ``1`` mean in-process serial execution; ``0`` means
+    "one per CPU"; anything negative is a configuration error.
+    """
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _is_picklable(*objects: Any) -> bool:
+    try:
+        pickle.dumps(objects)
+        return True
+    except Exception:
+        return False
+
+
+def run_trials(
+    factory: InstanceFactory,
+    m: int,
+    adversary_factory: AdversaryFactory,
+    trials: int,
+    seed: int = 0,
+    stop_on_collision: bool = True,
+    max_steps: Optional[int] = None,
+    workers: Optional[int] = None,
+    batch: bool = False,
+) -> int:
+    """Count collisions over ``trials`` independent seeded games.
+
+    The result depends only on ``(seed, trials)`` and the factories —
+    never on ``workers`` or ``batch`` — because each trial's outcome is
+    a pure function of its derived seed and addition commutes across
+    shards.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    count = min(resolve_workers(workers), trials)
+    if count > 1 and not _is_picklable(factory, adversary_factory):
+        warnings.warn(
+            "factories are not picklable; running trials serially "
+            "(use SpecFactory / ObliviousFactory / AttackFactory for "
+            "cross-process execution)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        count = 1
+    if count <= 1:
+        return _run_trial_block(
+            (
+                factory,
+                m,
+                adversary_factory,
+                seed,
+                0,
+                1,
+                trials,
+                stop_on_collision,
+                max_steps,
+                batch,
+            )
+        )
+    payloads = [
+        (
+            factory,
+            m,
+            adversary_factory,
+            seed,
+            offset,
+            count,
+            trials,
+            stop_on_collision,
+            max_steps,
+            batch,
+        )
+        for offset in range(count)
+    ]
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        return sum(pool.map(_run_trial_block, payloads))

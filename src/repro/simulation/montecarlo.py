@@ -5,6 +5,13 @@ adversaries) we estimate ``p_A`` by playing many independent, seeded
 games. Estimates carry Wilson-score confidence intervals, which behave
 sensibly at the extreme frequencies (0 or all collisions) these
 experiments regularly produce.
+
+Trial execution lives in :mod:`repro.simulation.batch`: pass
+``workers=N`` to shard the trials across ``N`` processes and/or
+``batch=True`` to use the vectorized oblivious fast path. Both options
+are pure go-faster knobs — the returned :class:`Estimate` is
+bit-identical for every combination, because each trial's outcome
+depends only on the root seed and its trial index.
 """
 
 from __future__ import annotations
@@ -14,11 +21,11 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.adversary.base import Adversary, ObliviousAdversary
+from repro.adversary.base import Adversary
 from repro.adversary.profiles import DemandProfile
 from repro.errors import ConfigurationError
-from repro.simulation.game import Game, InstanceFactory
-from repro.simulation.seeds import derive_seed, rng_for
+from repro.simulation.batch import ObliviousFactory, run_trials
+from repro.simulation.game import InstanceFactory
 
 
 @dataclass(frozen=True)
@@ -77,7 +84,7 @@ def wilson_interval(
 def _normal_quantile(p: float) -> float:
     """Inverse standard-normal CDF (Beasley-Springer-Moro)."""
     if not 0 < p < 1:
-        raise ConfigurationError(f"quantile argument must be in (0,1)")
+        raise ConfigurationError("quantile argument must be in (0,1)")
     a = [
         -3.969683028665376e01, 2.209460984245205e02,
         -2.759285104469687e02, 1.383577518672690e02,
@@ -129,27 +136,35 @@ def estimate_collision_probability(
     confidence: float = 0.95,
     stop_on_collision: bool = True,
     max_steps: Optional[int] = None,
+    workers: Optional[int] = None,
+    batch: bool = False,
 ) -> Estimate:
     """Play ``trials`` independent games; return the collision frequency.
 
     Each trial gets a fresh adversary (they are stateful) and a derived
     seed, so the whole estimate is reproducible from ``seed``.
+
+    ``workers=N`` shards the trials across ``N`` processes (``0`` means
+    one per CPU); the factories must then be picklable — see the shims
+    in :mod:`repro.simulation.batch`. ``batch=True`` enables the
+    vectorized fast path for batchable adversaries (currently
+    sequential :class:`~repro.simulation.batch.ObliviousFactory`
+    instances; others fall back to the game loop). Estimates are
+    bit-identical for every ``workers``/``batch`` combination.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    collisions = 0
-    for trial in range(trials):
-        adversary = adversary_factory(rng_for(seed, trial, 0xAD))
-        game = Game(
-            factory,
-            m,
-            adversary,
-            seed=derive_seed(seed, trial),
-            stop_on_collision=stop_on_collision,
-        )
-        result = game.run(max_steps=max_steps)
-        if result.collided:
-            collisions += 1
+    collisions = run_trials(
+        factory,
+        m,
+        adversary_factory,
+        trials,
+        seed=seed,
+        stop_on_collision=stop_on_collision,
+        max_steps=max_steps,
+        workers=workers,
+        batch=batch,
+    )
     low, high = wilson_interval(collisions, trials, confidence)
     return Estimate(
         probability=collisions / trials,
@@ -168,18 +183,24 @@ def estimate_profile_collision(
     trials: int,
     seed: int = 0,
     confidence: float = 0.95,
+    workers: Optional[int] = None,
+    batch: bool = True,
 ) -> Estimate:
-    """Estimate ``p_A(D)`` for an oblivious profile ``D``."""
+    """Estimate ``p_A(D)`` for an oblivious profile ``D``.
 
-    def oblivious(rng: random.Random) -> Adversary:
-        return ObliviousAdversary(profile, order="sequential", rng=rng)
-
+    Oblivious sequential games are batchable, so ``batch`` defaults to
+    ``True`` here: each instance emits its whole demand vector via
+    ``generate_batch`` instead of stepping the game loop. The estimate
+    is bit-identical either way.
+    """
     return estimate_collision_probability(
         factory,
         m,
-        oblivious,
+        ObliviousFactory(profile),
         trials=trials,
         seed=seed,
         confidence=confidence,
         stop_on_collision=False,
+        workers=workers,
+        batch=batch,
     )

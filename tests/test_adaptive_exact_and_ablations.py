@@ -109,6 +109,7 @@ class TestBinsStarChunkOverride:
         with pytest.raises(ConfigurationError):
             BinsStarGenerator(64, random.Random(0), num_chunks_override=20)
 
+    @pytest.mark.slow
     def test_exact_formula_with_override_matches_simulation(self):
         from repro.simulation.montecarlo import estimate_profile_collision
 
@@ -149,6 +150,7 @@ class TestBinsStarChunkOverride:
         assert small_ratio > paper_ratio
 
 
+@pytest.mark.slow
 def test_ablation_experiments_pass_quick():
     from repro.experiments import ExperimentConfig, run_experiment
 

@@ -1,6 +1,5 @@
 """Unit tests for the adaptive attacks (repro.adversary.attacks)."""
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for bound formulas, seed derivation, and the MC estimator."""
 
-import math
 import random
 
 import pytest
@@ -172,6 +171,7 @@ class TestWilson:
 
 
 class TestEstimator:
+    @pytest.mark.slow
     def test_coverage_against_exact(self):
         """The CI should cover the exact value (seeded: deterministic)."""
         from repro.analysis.exact import cluster_collision_probability

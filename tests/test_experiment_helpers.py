@@ -1,6 +1,5 @@
 """Unit tests for experiment-internal helpers (cheap, no MC)."""
 
-import pytest
 
 from repro.adversary.profiles import DemandProfile
 from repro.experiments import e01_cluster_theorem1 as e01

@@ -1,6 +1,5 @@
 """Unit tests for MiniRocks components: memtable, bloom, WAL, SST, cache."""
 
-import random
 
 import pytest
 

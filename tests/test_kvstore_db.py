@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core.cluster import ClusterGenerator
 from repro.errors import CorruptionDetectedError, KVStoreError
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.compaction import (

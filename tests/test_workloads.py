@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.adversary.profiles import DemandProfile
 from repro.errors import ConfigurationError, ProfileError
 from repro.workloads.demand import (
     doubling_demand_sweep,

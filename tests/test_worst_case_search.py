@@ -55,7 +55,8 @@ class TestSearch:
 
     def test_search_never_below_canonicals(self):
         m, n, d = 1 << 14, 4, 48
-        probability = lambda D: bins_star_collision_probability(m, D)
+        def probability(D):
+            return bins_star_collision_probability(m, D)
         _profile, value = find_worst_profile(probability, n, d)
         for candidate in candidate_profiles(n, d):
             assert value >= probability(candidate)
