@@ -1,0 +1,117 @@
+"""Engine speedup matrix: python vs NumPy Monte-Carlo trial kernels.
+
+One benchmark measures the oblivious Monte-Carlo legs of E1/E2/E3 at
+equal trial counts under both engines (python × numpy, serial ×
+workers) and records the wall-clock matrix in the benchmark JSON
+artifact. The single-worker ``numpy`` engine must beat ``python`` by
+at least 5× on every workload (enforced on full-scale runs only; smoke
+runs with ``REPRO_BENCH_SCALE < 1`` just record the numbers), and the
+sharded leg must stay bit-identical to the serial one — the NumPy
+speedup multiplies with the ``workers=`` speedup instead of replacing
+it.
+
+Knobs: ``REPRO_BENCH_ENGINE_TRIALS`` (base trial count, default 1500),
+``REPRO_BENCH_SCALE`` (multiplier, CI smoke sets it well below 1) and
+``REPRO_BENCH_SPEEDUP_WORKERS`` (worker count of the sharded leg).
+"""
+
+import functools
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.adversary.profiles import DemandProfile
+from repro.simulation.batch import SpecFactory
+from repro.simulation.montecarlo import estimate_profile_collision
+from repro.simulation.vectorized import numpy_available
+
+#: (label, spec, m, profile) — the oblivious workloads of E1, E2, E3.
+WORKLOADS = [
+    ("e01_cluster", "cluster", 1 << 24, DemandProfile.uniform(16, 256)),
+    ("e02_bins", "bins:64", 1 << 20, DemandProfile.uniform(8, 128)),
+    ("e03_random", "random", 1 << 24, DemandProfile.uniform(8, 512)),
+]
+
+
+def _trials() -> int:
+    base = int(os.environ.get("REPRO_BENCH_ENGINE_TRIALS", "1500"))
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    return max(50, int(base * scale))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_engine_speedup_matrix(benchmark):
+    """python vs numpy × serial vs workers on the E1/E2/E3 workloads."""
+    if not numpy_available():
+        pytest.skip("NumPy not installed; the numpy engine cannot run")
+    trials = _trials()
+    workers = int(os.environ.get("REPRO_BENCH_SPEEDUP_WORKERS", "4"))
+    scaled_down = float(os.environ.get("REPRO_BENCH_SCALE", "1")) < 1
+    benchmark.extra_info["trials"] = trials
+    speedups = {}
+    for index, (label, spec, m, profile) in enumerate(WORKLOADS):
+        estimate = functools.partial(
+            estimate_profile_collision,
+            SpecFactory(spec),
+            m,
+            profile,
+            trials=trials,
+            seed=BENCH_SEED,
+        )
+        python_est, python_seconds = _timed(
+            functools.partial(estimate, engine="python")
+        )
+        if index == 0:
+            # The numpy leg of the first workload doubles as
+            # pytest-benchmark's timed sample.
+            numpy_runner = functools.partial(
+                benchmark.pedantic,
+                functools.partial(estimate, engine="numpy"),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            numpy_runner = functools.partial(estimate, engine="numpy")
+        numpy_est, numpy_seconds = _timed(numpy_runner)
+        # Separate RNG universes: the estimates agree statistically
+        # (both CIs must cover the common truth), never bit-for-bit.
+        assert (
+            abs(python_est.probability - numpy_est.probability)
+            <= (python_est.ci_high - python_est.ci_low)
+            + (numpy_est.ci_high - numpy_est.ci_low)
+            + 0.02
+        ), f"{label}: engines disagree ({python_est} vs {numpy_est})"
+        sharded_est, sharded_seconds = _timed(
+            functools.partial(estimate, engine="numpy", workers=workers)
+        )
+        assert sharded_est == numpy_est, (
+            f"{label}: numpy engine not bit-identical across workers "
+            f"({sharded_est!r} != {numpy_est!r})"
+        )
+        speedup = python_seconds / numpy_seconds if numpy_seconds else 0.0
+        speedups[label] = speedup
+        benchmark.extra_info[f"{label}_python_seconds"] = python_seconds
+        benchmark.extra_info[f"{label}_numpy_seconds"] = numpy_seconds
+        benchmark.extra_info[f"{label}_numpy_workers_seconds"] = (
+            sharded_seconds
+        )
+        benchmark.extra_info[f"{label}_workers"] = workers
+        benchmark.extra_info[f"{label}_speedup"] = speedup
+        print(
+            f"\n{label}: python {python_seconds:.2f}s vs numpy "
+            f"{numpy_seconds:.3f}s -> {speedup:.1f}x "
+            f"(numpy workers={workers}: {sharded_seconds:.3f}s)"
+        )
+    if not scaled_down:
+        worst = min(speedups, key=speedups.get)
+        assert speedups[worst] >= 5.0, (
+            f"numpy engine speedup fell below 5x on {worst}: "
+            f"{speedups[worst]:.2f}x"
+        )

@@ -12,6 +12,7 @@ requests accordingly. This module provides:
 from __future__ import annotations
 
 import abc
+import random
 from typing import Optional
 
 from repro.adversary.base import NEW_INSTANCE, Adversary, GameView
@@ -32,15 +33,24 @@ class AdaptiveAdversary(Adversary, abc.ABC):
     Phase 1 activates ``n`` instances, requesting exactly one ID from
     each. Phase 2 (:meth:`exploit`) is attack-specific and runs until
     the total budget ``d`` is spent or the subclass stops early.
+
+    ``rng`` is the attack's own randomness source. The concrete attacks
+    shipped here are deterministic and never touch it, but accepting
+    the keyword lets :class:`~repro.simulation.batch.AttackFactory`
+    inject the derived per-trial RNG, so randomized subclasses are
+    fully seed-derived instead of falling back to ambient randomness.
     """
 
-    def __init__(self, n: int, d: int):
+    def __init__(
+        self, n: int, d: int, rng: Optional[random.Random] = None
+    ):
         if n < 2:
             raise GameError(f"adaptive attacks need n >= 2, got {n}")
         if d < n:
             raise GameError(f"budget d={d} cannot cover n={n} probes")
         self.n = n
         self.d = d
+        self.rng = rng if rng is not None else random.Random()
 
     def next_request(self, view: GameView) -> Optional[int]:
         if view.steps >= self.d:

@@ -61,8 +61,8 @@ def closest_trailing_pair(view: GameView) -> Tuple[int, int, int]:
 class ClosestPairAttack(AdaptiveAdversary):
     """Lemma 7's adversary: press the trailing instance of the closest pair."""
 
-    def __init__(self, n: int, d: int):
-        super().__init__(n, d)
+    def __init__(self, n: int, d: int, rng=None):
+        super().__init__(n, d, rng=rng)
         self._target: Optional[int] = None
 
     def exploit(self, view: GameView) -> Optional[int]:
@@ -80,8 +80,8 @@ class GreedyGapAttack(AdaptiveAdversary):
     rescanning the full transcript.
     """
 
-    def __init__(self, n: int, d: int):
-        super().__init__(n, d)
+    def __init__(self, n: int, d: int, rng=None):
+        super().__init__(n, d, rng=rng)
         self._sorted_ids: List[int] = []
         self._owner_of: Dict[int, int] = {}
         self._events_seen = 0
@@ -129,8 +129,10 @@ class RunSaturationAttack(AdaptiveAdversary):
     the greedy-gap policy.
     """
 
-    def __init__(self, n: int, d: int, equalize_fraction: float = 0.5):
-        super().__init__(n, d)
+    def __init__(
+        self, n: int, d: int, equalize_fraction: float = 0.5, rng=None
+    ):
+        super().__init__(n, d, rng=rng)
         if not 0.0 <= equalize_fraction <= 1.0:
             raise ValueError(
                 f"equalize_fraction must be in [0,1], got {equalize_fraction}"

@@ -10,15 +10,19 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable
 
 from repro.errors import ConfigurationError
 
 
+@lru_cache(maxsize=4096)
 def falling_factorial(x: int, k: int) -> int:
     """``x · (x−1) ··· (x−k+1)`` — the number of injections [k] → [x].
 
-    Zero when ``k > x``; one when ``k == 0``.
+    Zero when ``k > x``; one when ``k == 0``. Memoized: sweeps like
+    E12's summary table evaluate the same big-int products across many
+    rows, and the results are immutable.
     """
     if k < 0:
         raise ConfigurationError(f"k must be >= 0, got {k}")
@@ -37,12 +41,16 @@ def binomial(n: int, k: int) -> int:
     return math.comb(n, k)
 
 
+@lru_cache(maxsize=4096)
 def birthday_no_collision(bins: int, balls: int) -> Fraction:
     """Exact probability that ``balls`` uniform distinct-bin choices differ.
 
     Each ball independently picks one of ``bins`` bins uniformly; this is
     ``bins^(balls)·falling / bins^balls`` — the birthday problem. Returns
-    0 when ``balls > bins`` and 1 when ``balls <= 1``.
+    0 when ``balls > bins`` and 1 when ``balls <= 1``. Memoized
+    (:class:`~fractions.Fraction` results are immutable): the Bins*
+    closed form re-evaluates identical per-chunk birthday events across
+    every profile of a sweep.
     """
     if bins < 1:
         raise ConfigurationError(f"bins must be >= 1, got {bins}")

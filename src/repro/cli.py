@@ -97,6 +97,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             workers=args.workers,
+            engine=args.engine,
         )
         label = f"{args.attack} attack (n={n}, d={d})"
     else:
@@ -108,6 +109,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             workers=args.workers,
+            engine=args.engine,
         )
         label = f"oblivious profile {profile.demands}"
     print(f"{args.algorithm} vs {label} on m={args.m}: {estimate}")
@@ -118,7 +120,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.render import chart_from_result, result_to_json
 
     config = ExperimentConfig(
-        quick=args.quick, seed=args.seed, workers=args.workers
+        quick=args.quick, seed=args.seed, workers=args.workers,
+        engine=args.engine,
     )
     ids = experiment_ids() if args.id.lower() == "all" else [args.id]
     exit_code = 0
@@ -198,7 +201,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
-        quick=args.quick, seed=args.seed, workers=args.workers
+        quick=args.quick, seed=args.seed, workers=args.workers,
+        engine=args.engine,
     )
     results = run_all(config)
     sections = [result.to_markdown() for result in results]
@@ -224,6 +228,15 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="shard Monte-Carlo trials across N processes "
         "(0 = one per CPU); results are bit-identical for any N",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["python", "numpy"],
+        default="python",
+        help="Monte-Carlo trial engine: 'numpy' vectorizes oblivious "
+        "trials as array operations (much faster, composes with "
+        "--workers). Each engine is its own reproducible RNG stream, "
+        "so estimates differ across engines by Monte-Carlo noise",
     )
 
 

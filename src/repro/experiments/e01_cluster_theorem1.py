@@ -85,6 +85,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             trials=config.trials(2000),
             seed=config.seed,
             workers=config.workers,
+            engine=config.engine,
         )
         row["mc"] = estimate.probability
         exact = row["exact"]

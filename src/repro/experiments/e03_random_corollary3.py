@@ -69,6 +69,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             trials=config.trials(1500),
             seed=config.seed,
             workers=config.workers,
+            engine=config.engine,
         )
         row["mc"] = estimate.probability
         result.add_check(

@@ -55,6 +55,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             trials=trials,
             seed=config.seed + n,
             workers=config.workers,
+            engine=config.engine,
         )
         # The attack has a closed form (spacings of n uniform points):
         # the Monte-Carlo column must straddle it.

@@ -80,6 +80,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 trials=trials,
                 seed=config.seed + n,
                 workers=config.workers,
+                engine=config.engine,
             )
             plain = estimate_collision_probability(
                 SpecFactory("cluster"),
@@ -88,6 +89,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 trials=trials,
                 seed=config.seed + n,
                 workers=config.workers,
+                engine=config.engine,
             )
             target = theorem8_cluster_star(m, n, d)
             star_ratio = star.probability / target

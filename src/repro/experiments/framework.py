@@ -35,6 +35,11 @@ class ExperimentConfig:
     #: Worker processes for Monte-Carlo estimation (None/1 = serial,
     #: 0 = one per CPU). Results are bit-identical at any worker count.
     workers: Optional[int] = None
+    #: Trial engine: ``"python"`` (per-trial game loop / batched sets)
+    #: or ``"numpy"`` (vectorized oblivious kernels). Each engine is a
+    #: separate reproducible RNG universe — numbers differ across
+    #: engines by Monte-Carlo noise, never across worker counts.
+    engine: str = "python"
 
     def trials(self, base: int) -> int:
         """Trial count: ``base`` scaled, quartered in quick mode."""

@@ -1,4 +1,5 @@
-"""Game engine, Monte-Carlo estimation, parallel batching, and seeds."""
+"""Game engine, Monte-Carlo estimation, parallel batching, vectorized
+NumPy kernels, and seeds."""
 
 from repro.simulation.batch import (
     AttackFactory,
@@ -7,6 +8,12 @@ from repro.simulation.batch import (
     play_trial,
     resolve_workers,
     run_trials,
+)
+from repro.simulation.vectorized import (
+    NUMPY_SEED_LABEL,
+    VectorPlan,
+    numpy_available,
+    plan_profile,
 )
 from repro.simulation.game import Game, GameResult, play_profile
 from repro.simulation.montecarlo import (
@@ -34,4 +41,8 @@ __all__ = [
     "play_trial",
     "run_trials",
     "resolve_workers",
+    "NUMPY_SEED_LABEL",
+    "VectorPlan",
+    "numpy_available",
+    "plan_profile",
 ]

@@ -14,6 +14,16 @@ This module is the engine room behind
   :meth:`repro.core.base.IDGenerator.generate_batch` and collisions are
   detected with set operations. The per-trial collision outcome is
   provably the same as the game loop's, so estimates never change.
+* **Vectorization** — ``engine="numpy"`` goes further and simulates a
+  whole block of oblivious trials as array operations
+  (:mod:`repro.simulation.vectorized`). Dispatch requires a
+  :class:`SpecFactory` for one of the five core algorithms plus a
+  sequential :class:`ObliviousFactory`; anything else (adaptive
+  attacks, custom factories, out-of-regime profiles, a missing NumPy)
+  silently runs the python path. Unlike ``workers``/``batch`` — pure
+  go-faster knobs — the NumPy engine is a *separate RNG universe*:
+  estimates are reproducible per engine but differ across engines by
+  ordinary Monte-Carlo noise.
 
 Worker processes must be able to *pickle* the instance and adversary
 factories. The lambdas that are idiomatic for in-process use don't
@@ -27,17 +37,20 @@ results, no speedup) after emitting a :class:`RuntimeWarning`.
 
 from __future__ import annotations
 
+import inspect
 import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.adversary.base import Adversary, ObliviousAdversary
 from repro.adversary.profiles import DemandProfile
 from repro.core.registry import make_generator
 from repro.errors import ConfigurationError, GameError
+from repro.simulation import vectorized
 from repro.simulation.game import Game, InstanceFactory
 from repro.simulation.seeds import derive_seed, rng_for
 
@@ -86,6 +99,21 @@ class ObliviousFactory:
         return ObliviousAdversary(self.profile, order=self.order, rng=rng)
 
 
+@lru_cache(maxsize=None)
+def _accepts_rng(attack_cls: type) -> bool:
+    """Whether ``attack_cls.__init__`` takes an ``rng`` keyword."""
+    try:
+        parameters = inspect.signature(attack_cls.__init__).parameters
+    except (TypeError, ValueError):  # pragma: no cover - C extensions
+        return False
+    if "rng" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
 @dataclass(frozen=True)
 class AttackFactory:
     """A picklable adversary factory from a class and keyword arguments.
@@ -93,6 +121,11 @@ class AttackFactory:
     ``AttackFactory(ClosestPairAttack, n=8, d=1024)`` builds a fresh
     (stateful) attack per trial, like the lambdas it replaces. The class
     is pickled by reference, so any module-level adversary class works.
+
+    Attack classes whose ``__init__`` accepts an ``rng`` keyword get the
+    derived per-trial RNG, so any randomness they use is fully
+    seed-derived (an explicit ``rng=`` in ``kwargs`` wins); classes
+    without the keyword are built from ``kwargs`` alone.
     """
 
     attack_cls: type
@@ -103,6 +136,8 @@ class AttackFactory:
         object.__setattr__(self, "kwargs", kwargs)
 
     def __call__(self, rng) -> Adversary:
+        if "rng" not in self.kwargs and _accepts_rng(self.attack_cls):
+            return self.attack_cls(rng=rng, **self.kwargs)
         return self.attack_cls(**self.kwargs)
 
 
@@ -195,6 +230,26 @@ def play_trial(
 # Sharded execution
 # ---------------------------------------------------------------------------
 
+def _vector_plan(
+    factory: InstanceFactory,
+    m: int,
+    adversary_factory: AdversaryFactory,
+) -> Optional["vectorized.VectorPlan"]:
+    """The NumPy execution plan, if this workload admits one.
+
+    Requires a :class:`SpecFactory` (the kernels dispatch on the spec
+    string) and a batchable oblivious profile; the remaining gates live
+    in :func:`repro.simulation.vectorized.plan_profile`. Deterministic
+    in its arguments, so every worker process reaches the same verdict.
+    """
+    if not isinstance(factory, SpecFactory):
+        return None
+    profile = _batchable_profile(adversary_factory)
+    if profile is None:
+        return None
+    return vectorized.plan_profile(factory.spec, m, profile)
+
+
 #: Everything a worker needs to play its stride of trials.
 _TrialBlock = Tuple[
     InstanceFactory,  # factory
@@ -207,6 +262,7 @@ _TrialBlock = Tuple[
     bool,  # stop_on_collision
     Optional[int],  # max_steps
     bool,  # batch
+    str,  # engine
 ]
 
 
@@ -223,7 +279,12 @@ def _run_trial_block(payload: _TrialBlock) -> int:
         stop_on_collision,
         max_steps,
         batch,
+        engine,
     ) = payload
+    if engine == "numpy" and max_steps is None:
+        plan = _vector_plan(factory, m, adversary_factory)
+        if plan is not None:
+            return plan.count_collisions(seed, offset, stride, trials)
     collisions = 0
     for trial in range(offset, trials, stride):
         if play_trial(
@@ -273,16 +334,35 @@ def run_trials(
     max_steps: Optional[int] = None,
     workers: Optional[int] = None,
     batch: bool = False,
+    engine: str = "python",
 ) -> int:
     """Count collisions over ``trials`` independent seeded games.
 
-    The result depends only on ``(seed, trials)`` and the factories —
-    never on ``workers`` or ``batch`` — because each trial's outcome is
-    a pure function of its derived seed and addition commutes across
-    shards.
+    Within one engine the result depends only on ``(seed, trials)`` and
+    the factories — never on ``workers`` or ``batch`` — because each
+    trial's outcome is a pure function of its derived seed and addition
+    commutes across shards. ``engine="numpy"`` switches batchable
+    oblivious workloads to the vectorized kernels of
+    :mod:`repro.simulation.vectorized` (a separate, equally
+    reproducible RNG universe); non-vectorizable workloads run the
+    python path unchanged.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if engine not in vectorized.ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{', '.join(vectorized.ENGINES)}"
+        )
+    if engine == "numpy" and not vectorized.numpy_available():
+        warnings.warn(
+            "NumPy is not installed; engine='numpy' falling back to the "
+            "python engine (estimates will match engine='python', not a "
+            "NumPy-equipped host)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        engine = "python"
     count = min(resolve_workers(workers), trials)
     if count > 1 and not _is_picklable(factory, adversary_factory):
         warnings.warn(
@@ -306,6 +386,7 @@ def run_trials(
                 stop_on_collision,
                 max_steps,
                 batch,
+                engine,
             )
         )
     payloads = [
@@ -320,6 +401,7 @@ def run_trials(
             stop_on_collision,
             max_steps,
             batch,
+            engine,
         )
         for offset in range(count)
     ]

@@ -8,10 +8,19 @@ experiments regularly produce.
 
 Trial execution lives in :mod:`repro.simulation.batch`: pass
 ``workers=N`` to shard the trials across ``N`` processes and/or
-``batch=True`` to use the vectorized oblivious fast path. Both options
+``batch=True`` to use the batched oblivious fast path. Both options
 are pure go-faster knobs — the returned :class:`Estimate` is
 bit-identical for every combination, because each trial's outcome
 depends only on the root seed and its trial index.
+
+``engine="numpy"`` selects the vectorized trial kernels of
+:mod:`repro.simulation.vectorized`, which simulate whole blocks of
+oblivious trials as array operations (workloads the kernels cannot
+express run the python path unchanged). The NumPy engine samples the
+same per-trial collision distribution but from a *separate RNG
+universe*: estimates are reproducible per engine — and still
+bit-identical at any ``workers=`` count — yet the two engines' numbers
+differ by ordinary Monte-Carlo noise.
 """
 
 from __future__ import annotations
@@ -138,6 +147,7 @@ def estimate_collision_probability(
     max_steps: Optional[int] = None,
     workers: Optional[int] = None,
     batch: bool = False,
+    engine: str = "python",
 ) -> Estimate:
     """Play ``trials`` independent games; return the collision frequency.
 
@@ -147,10 +157,16 @@ def estimate_collision_probability(
     ``workers=N`` shards the trials across ``N`` processes (``0`` means
     one per CPU); the factories must then be picklable — see the shims
     in :mod:`repro.simulation.batch`. ``batch=True`` enables the
-    vectorized fast path for batchable adversaries (currently
-    sequential :class:`~repro.simulation.batch.ObliviousFactory`
-    instances; others fall back to the game loop). Estimates are
-    bit-identical for every ``workers``/``batch`` combination.
+    batched fast path for batchable adversaries (currently sequential
+    :class:`~repro.simulation.batch.ObliviousFactory` instances; others
+    fall back to the game loop). Estimates are bit-identical for every
+    ``workers``/``batch`` combination.
+
+    ``engine="numpy"`` runs batchable oblivious workloads through the
+    vectorized kernels instead — typically an order of magnitude
+    faster, reproducible from ``seed`` at any worker count, but a
+    separate RNG universe whose estimates differ from the python
+    engine's by Monte-Carlo noise.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
@@ -164,6 +180,7 @@ def estimate_collision_probability(
         max_steps=max_steps,
         workers=workers,
         batch=batch,
+        engine=engine,
     )
     low, high = wilson_interval(collisions, trials, confidence)
     return Estimate(
@@ -185,13 +202,17 @@ def estimate_profile_collision(
     confidence: float = 0.95,
     workers: Optional[int] = None,
     batch: bool = True,
+    engine: str = "python",
 ) -> Estimate:
     """Estimate ``p_A(D)`` for an oblivious profile ``D``.
 
     Oblivious sequential games are batchable, so ``batch`` defaults to
     ``True`` here: each instance emits its whole demand vector via
     ``generate_batch`` instead of stepping the game loop. The estimate
-    is bit-identical either way.
+    is bit-identical either way. Pass ``engine="numpy"`` to simulate
+    whole trial blocks as array operations (see
+    :func:`estimate_collision_probability` for the reproducibility
+    semantics).
     """
     return estimate_collision_probability(
         factory,
@@ -203,4 +224,5 @@ def estimate_profile_collision(
         stop_on_collision=False,
         workers=workers,
         batch=batch,
+        engine=engine,
     )

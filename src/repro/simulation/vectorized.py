@@ -1,0 +1,481 @@
+"""NumPy-vectorized Monte-Carlo trial kernels — the ``engine="numpy"`` path.
+
+:mod:`repro.simulation.batch` parallelizes trials *across* processes;
+this module parallelizes *within* one: a whole block of oblivious
+trials is simulated as a handful of array operations instead of
+thousands of Python-level ``random.Random`` calls and set updates. For
+each algorithm family the per-trial collision event reduces to a
+closed-form array computation:
+
+=============  =========================================================
+``Random``     each instance is a uniform ``d_i``-subset of ``[m]``
+               (sampled by per-row rejection until duplicate-free);
+               collision ⇔ a duplicate in the sorted concatenation.
+``Bins(k)``    same kernel over the reduced universe of ``⌊m/k⌋`` bins
+               with ``⌈d_i/k⌉`` picks per instance (a shared bin always
+               collides: both prefixes contain its first ID).
+``Cluster``    one uniform arc start per instance; collision ⇔ the
+               circular consecutive-gap test fails after sorting the
+               starts of each trial row.
+``Bins*``      instances with ``d ≥ 2^c`` pick one uniform bin among
+               the ``2^(C−1−c)`` bins of chunk ``c``; collision ⇔ a
+               duplicate bin pick inside any chunk row.
+``Cluster*``   run placements are vectorized across trials round by
+               round (rejection sampling against the instance's own
+               previous runs — the same uniform-over-free-starts law as
+               ``CircularIntervalSet.sample_free_start``); the rare
+               trials whose placement cannot be resolved fall back to
+               the exact Python game loop.
+=============  =========================================================
+
+Randomness is *counter-based* SplitMix64: trial ``t`` draws from the
+stream keyed by ``derive_seed(root, t, NUMPY_SEED_LABEL)``, so every
+trial's outcome is a pure function of ``(root seed, trial index)`` and
+estimates are bit-identical at any ``workers=`` count or internal chunk
+size. The label makes the NumPy engine a *separate RNG universe* from
+the python engine: both are exact samplers of the same per-trial
+collision distribution (equivalence is asserted statistically against
+:mod:`repro.analysis.exact` in the test suite), but their estimates
+differ by ordinary Monte-Carlo noise.
+
+The module imports cleanly without NumPy installed —
+:func:`numpy_available` reports the capability and every planner entry
+point degrades to ``None`` (callers then use the python engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+try:  # soft dependency: everything degrades to the python engine
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free hosts
+    _np = None
+
+from repro.adversary.profiles import DemandProfile
+from repro.core.bins_star import chunk_count
+from repro.errors import ConfigurationError, GameError
+from repro.simulation.seeds import _MASK64, _splitmix64
+
+#: Seed-path label appended to ``(root seed, trial index)`` when keying
+#: a trial's NumPy stream. Distinct from every label the python engine
+#: uses, which is what makes the two engines separate RNG universes.
+NUMPY_SEED_LABEL = 0x4E505633  # "NPV3"
+
+#: The recognized ``engine=`` values, in documentation order.
+ENGINES = ("python", "numpy")
+
+#: Universes above this bound stay on the python engine: the kernels
+#: do modular arithmetic like ``start + (m - other)`` in uint64, which
+#: needs ``2m < 2**63`` of headroom.
+_MAX_UNIVERSE = 1 << 61
+
+#: Target array elements per internal trial chunk (bounds peak memory;
+#: invisible in the results because trials are keyed individually).
+_CHUNK_ELEMENTS = 1 << 22
+
+#: Rejection-round caps. The planner's gates keep per-round acceptance
+#: at ≥ exp(-2) (duplicate-free rows) and ≥ 1/2 (unbiased range and
+#: run placement), so the caps are unreachable in practice; placement
+#: overruns fall back to the game loop, the others are generator bugs.
+_MAX_REJECT_ROUNDS = 512
+_MAX_PLACEMENT_ROUNDS = 64
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy engine can run at all on this host."""
+    return _np is not None
+
+
+if _np is not None:
+    _GAMMA = _np.uint64(0x9E3779B97F4A7C15)
+    _MIX1 = _np.uint64(0xBF58476D1CE4E5B9)
+    _MIX2 = _np.uint64(0x94D049BB133111EB)
+    _S30 = _np.uint64(30)
+    _S27 = _np.uint64(27)
+    _S31 = _np.uint64(31)
+
+
+def _mix64(x):
+    """Vectorized SplitMix64 output step (wraps mod 2**64, like uint64).
+
+    Bit-identical to :func:`repro.simulation.seeds._splitmix64` on every
+    element; operates on uint64 *arrays* only (NumPy warns on scalar
+    overflow but wraps arrays silently).
+    """
+    x = x + _GAMMA
+    x = (x ^ (x >> _S30)) * _MIX1
+    x = (x ^ (x >> _S27)) * _MIX2
+    return x ^ (x >> _S31)
+
+
+def trial_keys(seed: int, trial_indices) -> "object":
+    """Per-trial stream keys: ``derive_seed(seed, t, NUMPY_SEED_LABEL)``.
+
+    Vectorized over ``trial_indices`` (any integer array); the scalar
+    path components are pre-mixed with the pure-python SplitMix64 so
+    only array arithmetic touches NumPy.
+    """
+    trials = _np.asarray(trial_indices).astype(_np.uint64)
+    state = _np.uint64(_splitmix64(seed & _MASK64))
+    state = _mix64(state ^ _mix64(trials))
+    mixed_label = _np.uint64(_splitmix64(NUMPY_SEED_LABEL))
+    return _mix64(state ^ mixed_label)
+
+
+class _Streams:
+    """One independent counter-based SplitMix64 stream per trial row.
+
+    Row ``r``'s ``j``-th draw is ``mix(key_r + (j+1)·γ)`` — exactly the
+    SplitMix64 generator seeded with ``key_r`` — so the values a trial
+    sees depend only on its key and how many draws *it* has consumed,
+    never on which other trials share the block.
+    """
+
+    def __init__(self, keys):
+        self.keys = keys
+        self.pos = _np.zeros(keys.shape, dtype=_np.uint64)
+
+    def draw(self, cols: int, rows=None):
+        """Next ``cols`` raw 64-bit values for every row (or ``rows``)."""
+        keys = self.keys if rows is None else self.keys[rows]
+        pos = self.pos if rows is None else self.pos[rows]
+        offsets = pos[:, None] + _np.arange(cols, dtype=_np.uint64)[None, :]
+        values = _mix64(keys[:, None] + (offsets + _np.uint64(1)) * _GAMMA)
+        if rows is None:
+            self.pos = self.pos + _np.uint64(cols)
+        else:
+            self.pos[rows] += _np.uint64(cols)
+        return values
+
+    def uniform(self, bound: int, cols: int, rows=None):
+        """Exactly uniform draws in ``[0, bound)`` — (rows, cols) array.
+
+        Values at or above the largest multiple of ``bound`` below
+        ``2**64`` are redrawn (per element), so the modulo at the end
+        carries no bias; acceptance is ≥ 1/2 per draw.
+        """
+        values = self.draw(cols, rows)
+        threshold = ((1 << 64) // bound) * bound
+        if threshold < (1 << 64):
+            limit = _np.uint64(threshold)
+            for _ in range(_MAX_REJECT_ROUNDS):
+                bad = values >= limit
+                bad_rows = _np.nonzero(bad.any(axis=1))[0]
+                if bad_rows.size == 0:
+                    break
+                absolute = bad_rows if rows is None else rows[bad_rows]
+                fresh = self.draw(cols, absolute)
+                values[bad_rows] = _np.where(
+                    bad[bad_rows], fresh, values[bad_rows]
+                )
+            else:  # pragma: no cover - P(reach) <= 2**-512 per element
+                raise GameError("uniform rejection sampling did not converge")
+        return values % _np.uint64(bound)
+
+    def distinct_uniform(self, bound: int, cols: int):
+        """Uniformly random *duplicate-free* rows of ``cols`` draws.
+
+        Rows containing a repeated value are redrawn whole, i.e. the
+        result is conditioned on all-distinct — exactly the law of
+        sequential sampling without replacement (what the python
+        generators implement with per-draw rejection against a set).
+        """
+        values = self.uniform(bound, cols)
+        if cols <= 1:
+            return values
+        for _ in range(_MAX_REJECT_ROUNDS):
+            ordered = _np.sort(values, axis=1)
+            dup = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+            dup_rows = _np.nonzero(dup)[0]
+            if dup_rows.size == 0:
+                return values
+            values[dup_rows] = self.uniform(bound, cols, dup_rows)
+        raise GameError(  # pragma: no cover - gated to acceptance >= e^-2
+            "duplicate-free row sampling did not converge; "
+            "the planner's density gate should have routed this "
+            "profile to the python engine"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-family collision kernels (one boolean per trial row)
+# ---------------------------------------------------------------------------
+
+
+def _subsets_collisions(universe: int, sizes, streams: "_Streams"):
+    """Random / Bins(k): duplicate detection across per-instance subsets."""
+    blocks = [streams.distinct_uniform(universe, size) for size in sizes]
+    ids = blocks[0] if len(blocks) == 1 else _np.concatenate(blocks, axis=1)
+    ordered = _np.sort(ids, axis=1)
+    if ordered.shape[1] < 2:
+        return _np.zeros(ordered.shape[0], dtype=bool)
+    # Within-instance duplicates were rejected away, so any duplicate
+    # in the concatenated row is a cross-instance collision.
+    return (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+
+
+def _circular_arcs_disjoint(m: int, starts, lengths):
+    """Row-wise: are the circular arcs ``[start, start+length)`` disjoint?
+
+    ``starts`` is (trials, arcs) uint64, ``lengths`` (arcs,) uint64 and
+    shared by all rows. Sort each row by start; the arcs are pairwise
+    disjoint iff every consecutive forward gap fits the earlier arc,
+    including the wrap-around pair.
+    """
+    order = _np.argsort(starts, axis=1, kind="stable")
+    sorted_starts = _np.take_along_axis(starts, order, axis=1)
+    sorted_lengths = lengths[order]
+    if starts.shape[1] > 1:
+        gaps = sorted_starts[:, 1:] - sorted_starts[:, :-1]
+        ok = (gaps >= sorted_lengths[:, :-1]).all(axis=1)
+    else:
+        ok = _np.ones(starts.shape[0], dtype=bool)
+    # Wrap gap, computed as (m - last) + first to stay inside uint64.
+    wrap = (_np.uint64(m) - sorted_starts[:, -1]) + sorted_starts[:, 0]
+    return ok & (wrap >= sorted_lengths[:, -1])
+
+
+def _cluster_collisions(m: int, demands, streams: "_Streams"):
+    """Cluster: one uniform arc start per instance, overlap ⇔ collision."""
+    starts = streams.uniform(m, len(demands))
+    lengths = _np.asarray(demands, dtype=_np.uint64)
+    return ~_circular_arcs_disjoint(m, starts, lengths)
+
+
+def _bins_star_collisions(m: int, demands, streams: "_Streams"):
+    """Bins*: per-chunk birthday events over the reaching instances."""
+    num_chunks = chunk_count(m)
+    collided = _np.zeros(len(streams.keys), dtype=bool)
+    for chunk in range(num_chunks):
+        reaching = sum(1 for d in demands if d >= (1 << chunk))
+        if reaching <= 1:
+            break  # chunks only get emptier as the threshold doubles
+        bins_here = 1 << (num_chunks - 1 - chunk)
+        picks = streams.uniform(bins_here, reaching)
+        ordered = _np.sort(picks, axis=1)
+        collided |= (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+    return collided
+
+
+def _cluster_star_run_lengths(demand: int) -> Tuple[List[int], int]:
+    """Intended run lengths ``1, 2, ..., 2^(k-1)`` and the emitted tail.
+
+    ``k = ⌈log₂(demand+1)⌉ = demand.bit_length()`` runs cover the
+    demand; the final run is placed at full length but only its first
+    ``demand - (2^(k-1) - 1)`` IDs are emitted.
+    """
+    k = demand.bit_length()
+    lengths = [1 << j for j in range(k)]
+    emitted_tail = demand - ((1 << (k - 1)) - 1)
+    return lengths, emitted_tail
+
+
+def _cluster_star_collisions(m: int, demands, streams: "_Streams"):
+    """Cluster*: vectorized run placement, then the arcs-disjoint test.
+
+    Returns ``(collided, fallback)``; rows flagged in ``fallback`` hit
+    the placement-round cap (possible only under extreme fragmentation,
+    which the planner's ``k·2^k ≤ m`` gate makes astronomically rare)
+    and must be replayed through the python game loop.
+    """
+    trials = len(streams.keys)
+    m_u64 = _np.uint64(m)
+    fallback = _np.zeros(trials, dtype=bool)
+    arc_start_columns = []
+    arc_lengths: List[int] = []
+    for demand in demands:
+        lengths, emitted_tail = _cluster_star_run_lengths(demand)
+        placed: List[Tuple[object, int]] = []
+        for index, length in enumerate(lengths):
+            length_u64 = _np.uint64(length)
+            starts = streams.uniform(m, 1)[:, 0]
+            for _ in range(_MAX_PLACEMENT_ROUNDS):
+                bad = _np.zeros(trials, dtype=bool)
+                for prev_starts, prev_length in placed:
+                    forward = (starts + (m_u64 - prev_starts)) % m_u64
+                    backward = (prev_starts + (m_u64 - starts)) % m_u64
+                    bad |= (forward < _np.uint64(prev_length)) | (
+                        backward < length_u64
+                    )
+                bad_rows = _np.nonzero(bad)[0]
+                if bad_rows.size == 0:
+                    break
+                starts[bad_rows] = streams.uniform(m, 1, bad_rows)[:, 0]
+            else:
+                # Same trials keep failing: their free space is too
+                # fragmented for rejection sampling (the python engine
+                # would shrink the run). Replay them exactly.
+                fallback |= bad
+            placed.append((starts, length))
+            arc_start_columns.append(starts)
+            arc_lengths.append(
+                length if index < len(lengths) - 1 else emitted_tail
+            )
+    starts_matrix = _np.stack(arc_start_columns, axis=1)
+    lengths_array = _np.asarray(arc_lengths, dtype=_np.uint64)
+    collided = ~_circular_arcs_disjoint(m, starts_matrix, lengths_array)
+    return collided, fallback
+
+
+# ---------------------------------------------------------------------------
+# Planning and execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VectorPlan:
+    """A picklable recipe for counting collisions of one (spec, m, D).
+
+    Built by :func:`plan_profile`; executed with
+    :meth:`count_collisions`. The plan is pure data, so worker
+    processes can reconstruct results bit-identically.
+    """
+
+    kind: str  # "subsets" | "cluster" | "bins_star" | "cluster_star"
+    spec: str
+    m: int
+    demands: Tuple[int, ...]
+    #: Subsets kernel only: the sampling universe (m, or ⌊m/k⌋ bins)
+    #: and how many distinct elements each instance picks from it.
+    universe: int = 0
+    sizes: Tuple[int, ...] = ()
+
+    def _row_width(self) -> int:
+        """Array elements one trial needs — sizes the internal chunks."""
+        if self.kind == "subsets":
+            return max(1, sum(self.sizes))
+        if self.kind == "cluster":
+            return max(1, len(self.demands))
+        if self.kind == "bins_star":
+            return max(1, len(self.demands) * chunk_count(self.m))
+        return max(1, sum(d.bit_length() for d in self.demands))
+
+    def count_collisions(
+        self, seed: int, offset: int, stride: int, trials: int
+    ) -> int:
+        """Collision count over trials ``offset, offset+stride, ... < trials``.
+
+        A pure function of ``seed`` and the trial indices: chunking is
+        internal and workers may split the index set any way they like.
+        """
+        indices = _np.arange(offset, trials, stride, dtype=_np.int64)
+        if indices.size == 0:
+            return 0
+        chunk = max(256, _CHUNK_ELEMENTS // self._row_width())
+        total = 0
+        for low in range(0, indices.size, chunk):
+            total += self._count_chunk(seed, indices[low:low + chunk])
+        return total
+
+    def _count_chunk(self, seed: int, trial_indices) -> int:
+        streams = _Streams(trial_keys(seed, trial_indices))
+        if self.kind == "subsets":
+            collided = _subsets_collisions(self.universe, self.sizes, streams)
+        elif self.kind == "cluster":
+            collided = _cluster_collisions(self.m, self.demands, streams)
+        elif self.kind == "bins_star":
+            collided = _bins_star_collisions(self.m, self.demands, streams)
+        elif self.kind == "cluster_star":
+            collided, fallback = _cluster_star_collisions(
+                self.m, self.demands, streams
+            )
+            if fallback.any():
+                collided = self._replay_fallback(
+                    seed, trial_indices, collided, fallback
+                )
+        else:  # pragma: no cover - plans are built by plan_profile only
+            raise ConfigurationError(f"unknown vector plan kind {self.kind!r}")
+        return int(_np.count_nonzero(collided))
+
+    def _replay_fallback(self, seed, trial_indices, collided, fallback):
+        """Replay placement-capped trials through the python game path."""
+        from repro.simulation.batch import (
+            ObliviousFactory,
+            SpecFactory,
+            play_trial,
+        )
+
+        factory = SpecFactory(self.spec)
+        adversary_factory = ObliviousFactory(DemandProfile(self.demands))
+        collided = collided.copy()
+        for row in _np.nonzero(fallback)[0]:
+            collided[row] = play_trial(
+                factory,
+                self.m,
+                adversary_factory,
+                seed,
+                int(trial_indices[row]),
+                stop_on_collision=False,
+                batch=True,
+            )
+        return collided
+
+
+def plan_profile(
+    spec: str, m: int, profile: DemandProfile
+) -> Optional[VectorPlan]:
+    """Build a :class:`VectorPlan` for ``(spec, m, profile)``, or ``None``.
+
+    ``None`` means "use the python engine": NumPy missing, the spec is
+    outside the five vectorized families, the universe exceeds uint64
+    headroom, or the profile sits in a regime the kernels do not model
+    (overflowing bins, demands beyond the Bins* schedule, rejection
+    densities past the gates). The decision is deterministic in the
+    arguments, so parent and worker processes always agree.
+    """
+    if _np is None or not 1 <= m <= _MAX_UNIVERSE:
+        return None
+    demands = tuple(profile.demands)
+    if not demands or max(demands) > m:
+        return None
+    parts = spec.strip().lower().split(":")
+    name = parts[0].replace("*", "_star")
+    args = parts[1:]
+    if name == "random" and not args:
+        # Whole-row rejection needs acceptance ~exp(-d²/2m) per row.
+        if any(d * d > 4 * m for d in demands):
+            return None
+        return VectorPlan(
+            "subsets", spec, m, demands, universe=m, sizes=demands
+        )
+    if name == "bins" and len(args) == 1:
+        try:
+            k = int(args[0])
+        except ValueError:
+            return None
+        if not 1 <= k <= m:
+            return None
+        num_bins = m // k
+        # The shared-bin ⇔ collision reduction only holds while every
+        # instance stays inside the binned region (no leftover tail).
+        if any(d > num_bins * k for d in demands):
+            return None
+        sizes = tuple(-(-d // k) for d in demands)
+        if any(b * b > 4 * num_bins for b in sizes):
+            return None
+        return VectorPlan(
+            "subsets", spec, m, demands, universe=num_bins, sizes=sizes
+        )
+    if name == "cluster" and not args:
+        # Total demand beyond m would exhaust instances mid-trial; the
+        # game loop owns those semantics.
+        if sum(demands) > m:
+            return None
+        return VectorPlan("cluster", spec, m, demands)
+    if name == "bins_star" and not args:
+        if m < 4:
+            return None
+        if max(demands) > (1 << chunk_count(m)) - 1:
+            return None  # beyond the paper's schedule: python fallback
+        return VectorPlan("bins_star", spec, m, demands)
+    if name == "cluster_star" and not args:
+        # The paper's own regime (d ≲ m/(2 log m)): placement rejection
+        # keeps acceptance >= 1/2 per draw when k·2^k <= m.
+        if any(
+            d.bit_length() * (1 << d.bit_length()) > m for d in demands
+        ):
+            return None
+        return VectorPlan("cluster_star", spec, m, demands)
+    return None
