@@ -10,6 +10,7 @@ from repro.core.cluster_star import ClusterStarGenerator
 from repro.simulation.batch import AttackFactory, SpecFactory
 from repro.simulation.game import Game
 from repro.simulation.montecarlo import estimate_collision_probability
+from repro.simulation.plan import SimulationPlan
 
 
 def test_e7_reproduce(benchmark):
@@ -33,7 +34,9 @@ def test_e7_parallel_speedup_workers8(benchmark):
         trials=trials,
         seed=BENCH_SEED,
     )
-    parallel = functools.partial(estimate, workers=workers)
+    parallel = functools.partial(
+        estimate, plan=SimulationPlan(workers=workers)
+    )
     record_speedup(
         benchmark,
         "e07_greedy_gap",

@@ -21,6 +21,7 @@ import time
 import pytest
 
 from repro.experiments import ExperimentConfig, run_experiment
+from repro.simulation.plan import SimulationPlan
 
 BENCH_SEED = 20230414
 
@@ -31,23 +32,38 @@ def pytest_collection_modifyitems(items):
         item.add_marker(pytest.mark.bench)
 
 
+def bench_plan() -> SimulationPlan:
+    """The SimulationPlan the benchmark harness runs experiments under.
+
+    ``REPRO_BENCH_WORKERS`` shards trials across processes,
+    ``REPRO_BENCH_ENGINE`` selects the trial engine, and
+    ``REPRO_BENCH_PRECISION`` sets an adaptive Wilson half-width
+    target (experiment trial counts then act as caps).
+    """
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS", "")
+    precision_env = os.environ.get("REPRO_BENCH_PRECISION", "")
+    return SimulationPlan(
+        engine=os.environ.get("REPRO_BENCH_ENGINE", "python"),
+        workers=int(workers_env) if workers_env else None,
+        target_halfwidth=float(precision_env) if precision_env else None,
+    )
+
+
 def bench_config() -> ExperimentConfig:
     """Quick by default; REPRO_BENCH_FULL=1 switches to the full sweep.
 
     ``REPRO_BENCH_SCALE`` multiplies every Monte-Carlo trial count (the
-    CI smoke job sets it well below 1) and ``REPRO_BENCH_WORKERS``
-    shards the trials across processes — estimates are bit-identical
-    either way.
+    CI smoke job sets it well below 1); execution knobs come from
+    :func:`bench_plan` — estimates are bit-identical at any
+    workers/round split of the same plan.
     """
     full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
-    workers_env = os.environ.get("REPRO_BENCH_WORKERS", "")
-    workers = int(workers_env) if workers_env else None
     return ExperimentConfig(
         quick=not full,
         seed=BENCH_SEED,
         trials_scale=scale,
-        workers=workers,
+        plan=bench_plan(),
     )
 
 

@@ -8,6 +8,7 @@ from repro import (
     ClusterGenerator,
     DemandProfile,
     RandomGenerator,
+    SimulationPlan,
     estimate_profile_collision,
     exact_collision_probability,
     make_generator,
@@ -41,6 +42,12 @@ def main() -> None:
         )
 
     # --- 3. Cross-check one of those numbers by simulation -------------
+    # A SimulationPlan says how to estimate: here "stop as soon as the
+    # 95% Wilson CI is ±0.005 wide, or at 10000 games" — typically far
+    # fewer games than a fixed budget, same reproducibility. (The
+    # target must be meaningfully tighter than the probability being
+    # measured, ~0.006 here, or the run stops before seeing a single
+    # collision.)
     sim_m = 1 << 20
     sim_profile = DemandProfile.uniform(4, 512)
     exact = float(exact_collision_probability("cluster", sim_m, sim_profile))
@@ -48,12 +55,14 @@ def main() -> None:
         lambda m_, rng: make_generator("cluster", m_, rng),
         sim_m,
         sim_profile,
-        trials=2000,
+        trials=10_000,
         seed=42,
+        plan=SimulationPlan(target_halfwidth=0.005),
     )
     print(
         f"\ncluster on {sim_profile.demands}, m=2^20: "
-        f"exact={exact:.4f}, simulated={estimate}"
+        f"exact={exact:.4f}, simulated={estimate} "
+        f"(adaptive: stopped after {estimate.trials} games)"
     )
 
 

@@ -16,18 +16,25 @@ Public API highlights:
   :class:`repro.distributed.ClusterSimulator` (imported lazily; see
   those subpackages).
 
-Parallel estimation
--------------------
+Estimation plans
+----------------
 
-Monte-Carlo estimation scales out and vectorizes
-(:mod:`repro.simulation.batch`):
+Monte-Carlo estimation runs through one seam
+(:mod:`repro.simulation.plan`): a frozen :class:`SimulationPlan`
+naming the engine (``python`` game loop, ``batched`` set ops,
+``numpy`` vectorized kernels — all pluggable via the engine
+registry), the worker-process count, and optionally an adaptive
+precision target:
 
-* ``estimate_collision_probability(..., workers=N)`` shards trials
-  across ``N`` processes; per-trial seed derivation makes the result
-  **bit-identical at any worker count**. Factories must pickle to
-  cross process boundaries — use :class:`SpecFactory`,
-  :class:`ObliviousFactory`, or :class:`AttackFactory` instead of
-  lambdas.
+* ``estimate_collision_probability(..., plan=SimulationPlan(workers=N))``
+  shards trials across ``N`` processes; per-trial seed derivation
+  makes the result **bit-identical at any worker/round split**.
+  Factories must pickle to cross process boundaries — use
+  :class:`SpecFactory`, :class:`ObliviousFactory`, or
+  :class:`AttackFactory` instead of lambdas.
+* ``SimulationPlan(target_halfwidth=0.01)`` stops sampling at the
+  first seeded checkpoint whose Wilson-CI half-width is tight enough
+  (the ``trials=`` argument then caps the budget).
 * every :class:`IDGenerator` offers ``generate_batch(count)``, a
   vectorized fast path producing whole demand vectors per call
   (optimized for ``Random``, ``Bins``, ``Cluster`` and ``Cluster*``);
@@ -73,10 +80,14 @@ from repro.simulation import (
     Game,
     GameResult,
     ObliviousFactory,
+    SimulationPlan,
     SpecFactory,
+    TrialTask,
+    available_engines,
     estimate_collision_probability,
     estimate_profile_collision,
     play_profile,
+    run_plan,
 )
 
 __version__ = "1.0.0"
@@ -106,6 +117,10 @@ __all__ = [
     "Estimate",
     "estimate_collision_probability",
     "estimate_profile_collision",
+    "SimulationPlan",
+    "TrialTask",
+    "run_plan",
+    "available_engines",
     "SpecFactory",
     "ObliviousFactory",
     "AttackFactory",

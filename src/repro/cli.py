@@ -39,7 +39,18 @@ from repro.simulation.montecarlo import (
     estimate_collision_probability,
     estimate_profile_collision,
 )
+from repro.simulation.plan import SimulationPlan, available_engines
 from repro.simulation.seeds import rng_for
+
+
+def _plan_from_args(args: argparse.Namespace) -> SimulationPlan:
+    """Build the :class:`SimulationPlan` the plan options describe."""
+    return SimulationPlan(
+        engine=args.engine,
+        workers=args.workers,
+        target_halfwidth=args.precision,
+        max_trials=args.max_trials,
+    )
 
 
 def _parse_profile(text: str) -> DemandProfile:
@@ -96,8 +107,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             AttackFactory(attack_cls, n=n, d=d),
             trials=args.trials,
             seed=args.seed,
-            workers=args.workers,
-            engine=args.engine,
+            plan=_plan_from_args(args),
         )
         label = f"{args.attack} attack (n={n}, d={d})"
     else:
@@ -108,8 +118,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             profile,
             trials=args.trials,
             seed=args.seed,
-            workers=args.workers,
-            engine=args.engine,
+            plan=_plan_from_args(args),
         )
         label = f"oblivious profile {profile.demands}"
     print(f"{args.algorithm} vs {label} on m={args.m}: {estimate}")
@@ -120,8 +129,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.render import chart_from_result, result_to_json
 
     config = ExperimentConfig(
-        quick=args.quick, seed=args.seed, workers=args.workers,
-        engine=args.engine,
+        quick=args.quick, seed=args.seed, plan=_plan_from_args(args),
     )
     ids = experiment_ids() if args.id.lower() == "all" else [args.id]
     exit_code = 0
@@ -201,8 +209,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
-        quick=args.quick, seed=args.seed, workers=args.workers,
-        engine=args.engine,
+        quick=args.quick, seed=args.seed, plan=_plan_from_args(args),
     )
     results = run_all(config)
     sections = [result.to_markdown() for result in results]
@@ -220,7 +227,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if passed == len(results) else 1
 
 
-def _add_workers_option(parser: argparse.ArgumentParser) -> None:
+def _add_plan_options(parser: argparse.ArgumentParser) -> None:
+    """The SimulationPlan knobs shared by every estimating subcommand."""
     parser.add_argument(
         "--workers",
         type=int,
@@ -231,12 +239,30 @@ def _add_workers_option(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["python", "numpy"],
+        choices=list(available_engines()),
         default="python",
         help="Monte-Carlo trial engine: 'numpy' vectorizes oblivious "
         "trials as array operations (much faster, composes with "
-        "--workers). Each engine is its own reproducible RNG stream, "
-        "so estimates differ across engines by Monte-Carlo noise",
+        "--workers), 'batched' pins the python fast path. python and "
+        "batched share one reproducible RNG stream; numpy is its own, "
+        "so its estimates differ by Monte-Carlo noise",
+    )
+    parser.add_argument(
+        "--precision",
+        type=float,
+        default=None,
+        metavar="HW",
+        help="adaptive mode: stop sampling once the Wilson-CI "
+        "half-width reaches HW (trial counts then act as caps); "
+        "identical results for any --workers split",
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="global cap on Monte-Carlo trials per estimate (the "
+        "smaller of this and each call's own trial count wins)",
     )
 
 
@@ -272,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--attack", choices=["closest_pair", "greedy_gap"], default=None,
         help="play adaptively with this attack instead of obliviously",
     )
-    _add_workers_option(simu)
+    _add_plan_options(simu)
 
     exp = sub.add_parser("experiment", help="run one experiment")
     exp.add_argument("id", help="E1..E12, A1, A2, or 'all'")
@@ -287,7 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="XCOL:YCOL[,YCOL...]",
         help="also draw an ASCII chart of the selected columns",
     )
-    _add_workers_option(exp)
+    _add_plan_options(exp)
 
     compare = sub.add_parser(
         "compare", help="side-by-side safety table for a deployment"
@@ -310,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--output", default="EXPERIMENTS.md")
     rep.add_argument("--quick", action="store_true")
     rep.add_argument("--seed", type=int, default=20230414)
-    _add_workers_option(rep)
+    _add_plan_options(rep)
 
     return parser
 

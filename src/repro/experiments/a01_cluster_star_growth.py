@@ -24,6 +24,7 @@ while g = 1 pays the Random birthday cost.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.adversary.attacks import ClosestPairAttack, GreedyGapAttack
@@ -31,8 +32,24 @@ from repro.adversary.profiles import DemandProfile
 from repro.analysis.bounds import corollary3_random, theorem8_cluster_star
 from repro.core.cluster_star import ClusterStarGenerator
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
-from repro.simulation.game import Game
+from repro.simulation.batch import AttackFactory
+from repro.simulation.montecarlo import estimate_collision_probability
 from repro.simulation.seeds import derive_seed, rng_for
+
+
+@dataclass(frozen=True)
+class GrowthFactory:
+    """Picklable factory for a :class:`ClusterStarGenerator` at ``growth``.
+
+    The sweep's lambda equivalent cannot cross process boundaries, so
+    this shim is what lets the ablation run through the plan seam
+    (``workers=``, adaptive precision) like every other experiment.
+    """
+
+    growth: int
+
+    def __call__(self, m: int, rng) -> ClusterStarGenerator:
+        return ClusterStarGenerator(m, rng, growth=self.growth)
 
 EXPERIMENT_ID = "A1"
 TITLE = "Ablation: Cluster* run-growth factor (design choice of §3.3)"
@@ -103,19 +120,15 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             (ClosestPairAttack, trials_closest),
             (GreedyGapAttack, trials_greedy),
         ):
-            collisions = 0
-            for trial in range(trials):
-                game = Game(
-                    lambda mm, rr, g=growth: ClusterStarGenerator(
-                        mm, rr, growth=g
-                    ),
-                    m,
-                    attack_cls(n=n, d=d),
-                    seed=derive_seed(config.seed, growth, trial),
-                )
-                if game.run().collided:
-                    collisions += 1
-            probability = collisions / trials
+            estimate = estimate_collision_probability(
+                GrowthFactory(growth),
+                m,
+                AttackFactory(attack_cls, n=n, d=d),
+                trials=trials,
+                seed=derive_seed(config.seed, growth),
+                plan=config.plan,
+            )
+            probability = estimate.probability
             per_attack[attack_cls.__name__] = probability
             worst = max(worst, probability)
         costs = _instance_costs(m, growth, d // n, config.seed)

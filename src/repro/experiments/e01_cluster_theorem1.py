@@ -84,8 +84,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             profile,
             trials=config.trials(2000),
             seed=config.seed,
-            workers=config.workers,
-            engine=config.engine,
+            plan=config.plan,
         )
         row["mc"] = estimate.probability
         exact = row["exact"]

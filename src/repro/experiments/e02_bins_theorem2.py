@@ -86,8 +86,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             row["_profile"],
             trials=config.trials(1500),
             seed=config.seed,
-            workers=config.workers,
-            engine=config.engine,
+            plan=config.plan,
         )
         row["mc"] = estimate.probability
         result.add_check(

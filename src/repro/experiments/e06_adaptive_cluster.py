@@ -16,10 +16,7 @@ from typing import List
 from repro.adversary.attacks import ClosestPairAttack
 from repro.adversary.profiles import DemandProfile
 from repro.analysis.adaptive import closest_pair_attack_cluster_exact
-from repro.analysis.bounds import (
-    corollary5_cluster_worst_case,
-    lemma7_adaptive_cluster,
-)
+from repro.analysis.bounds import lemma7_adaptive_cluster
 from repro.analysis.exact import cluster_collision_probability
 from repro.experiments.framework import ExperimentConfig, ExperimentResult
 from repro.simulation.batch import AttackFactory, SpecFactory
@@ -54,8 +51,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             AttackFactory(ClosestPairAttack, n=n, d=d),
             trials=trials,
             seed=config.seed + n,
-            workers=config.workers,
-            engine=config.engine,
+            plan=config.plan,
         )
         # The attack has a closed form (spacings of n uniform points):
         # the Monte-Carlo column must straddle it.

@@ -79,8 +79,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 AttackFactory(attack_cls, n=n, d=d),
                 trials=trials,
                 seed=config.seed + n,
-                workers=config.workers,
-                engine=config.engine,
+                plan=config.plan,
             )
             plain = estimate_collision_probability(
                 SpecFactory("cluster"),
@@ -88,8 +87,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 AttackFactory(attack_cls, n=n, d=d),
                 trials=trials,
                 seed=config.seed + n,
-                workers=config.workers,
-                engine=config.engine,
+                plan=config.plan,
             )
             target = theorem8_cluster_star(m, n, d)
             star_ratio = star.probability / target

@@ -95,7 +95,7 @@ def _oblivious_worst_case(
         estimate = estimate_profile_collision(
             FACTORIES[name], M, profile,
             trials=config.trials(1000), seed=config.seed,
-            workers=config.workers, engine=config.engine,
+            plan=config.plan,
         )
         worst = max(worst, estimate.probability)
     return worst
@@ -111,7 +111,7 @@ def _competitive_oblivious(
         estimate = estimate_profile_collision(
             FACTORIES[name], M, SKEW_PAIR,
             trials=config.trials(4000), seed=config.seed,
-            workers=config.workers, engine=config.engine,
+            plan=config.plan,
         )
         p_algorithm = Fraction(estimate.probability).limit_denominator(
             10**9
@@ -129,7 +129,7 @@ def _adaptive_worst_case(name: str, config: ExperimentConfig) -> float:
             FACTORIES[name], M,
             AttackFactory(attack_cls, n=N, d=D_TOTAL),
             trials=trials, seed=config.seed,
-            workers=config.workers, engine=config.engine,
+            plan=config.plan,
         )
         worst = max(worst, estimate.probability)
     return worst

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.simulation.plan import SimulationPlan, fold_legacy_kwargs
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -32,14 +34,34 @@ class ExperimentConfig:
     seed: int = 20230414  # the paper's arXiv date
     #: Multiplier on Monte-Carlo trial counts.
     trials_scale: float = 1.0
-    #: Worker processes for Monte-Carlo estimation (None/1 = serial,
-    #: 0 = one per CPU). Results are bit-identical at any worker count.
+    #: How Monte-Carlo legs execute and when they stop: engine, worker
+    #: processes, and the adaptive precision target all live here. The
+    #: per-experiment ``config.trials(base)`` counts become the trial
+    #: *cap* once ``plan.target_halfwidth`` is set.
+    plan: SimulationPlan = SimulationPlan()
+    #: Deprecated — fold into ``plan`` (kept as shims for one release).
     workers: Optional[int] = None
-    #: Trial engine: ``"python"`` (per-trial game loop / batched sets)
-    #: or ``"numpy"`` (vectorized oblivious kernels). Each engine is a
-    #: separate reproducible RNG universe — numbers differ across
-    #: engines by Monte-Carlo noise, never across worker counts.
-    engine: str = "python"
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        overrides = {}
+        if self.workers is not None:
+            overrides["workers"] = self.workers
+        if self.engine is not None:
+            overrides["engine"] = self.engine
+        if overrides:
+            folded = fold_legacy_kwargs(
+                self.plan,
+                overrides,
+                "ExperimentConfig(workers=, engine=)",
+                stacklevel=3,
+            )
+            object.__setattr__(self, "plan", folded)
+            # Clear the folded fields: equality/hash must match a
+            # plan-built config, and dataclasses.replace() must not
+            # re-fold (and re-warn) on every copy.
+            object.__setattr__(self, "workers", None)
+            object.__setattr__(self, "engine", None)
 
     def trials(self, base: int) -> int:
         """Trial count: ``base`` scaled, quartered in quick mode."""

@@ -1,19 +1,20 @@
-"""Game engine, Monte-Carlo estimation, parallel batching, vectorized
-NumPy kernels, and seeds."""
+"""Game engine, the SimulationPlan estimation seam, engine registry,
+Monte-Carlo estimation, parallel batching, vectorized NumPy kernels,
+and seeds."""
 
 from repro.simulation.batch import (
     AttackFactory,
     ObliviousFactory,
     SpecFactory,
+    count_range,
     play_trial,
     resolve_workers,
     run_trials,
 )
-from repro.simulation.vectorized import (
-    NUMPY_SEED_LABEL,
-    VectorPlan,
-    numpy_available,
-    plan_profile,
+from repro.simulation.engines import (
+    BatchedEngine,
+    NumpyEngine,
+    PythonEngine,
 )
 from repro.simulation.game import Game, GameResult, play_profile
 from repro.simulation.montecarlo import (
@@ -22,7 +23,25 @@ from repro.simulation.montecarlo import (
     estimate_profile_collision,
     wilson_interval,
 )
+from repro.simulation.plan import (
+    Engine,
+    EngineRegistry,
+    RoundResult,
+    SimulationPlan,
+    TrialTask,
+    available_engines,
+    get_engine,
+    iter_rounds,
+    register_engine,
+    run_plan,
+)
 from repro.simulation.seeds import derive_seed, rng_for, seed_stream
+from repro.simulation.vectorized import (
+    NUMPY_SEED_LABEL,
+    VectorPlan,
+    numpy_available,
+    plan_profile,
+)
 
 __all__ = [
     "Game",
@@ -40,7 +59,21 @@ __all__ = [
     "AttackFactory",
     "play_trial",
     "run_trials",
+    "count_range",
     "resolve_workers",
+    "SimulationPlan",
+    "TrialTask",
+    "RoundResult",
+    "Engine",
+    "EngineRegistry",
+    "run_plan",
+    "iter_rounds",
+    "get_engine",
+    "register_engine",
+    "available_engines",
+    "PythonEngine",
+    "BatchedEngine",
+    "NumpyEngine",
     "NUMPY_SEED_LABEL",
     "VectorPlan",
     "numpy_available",

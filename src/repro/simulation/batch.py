@@ -1,7 +1,10 @@
 """Parallel, batched Monte-Carlo trial execution.
 
-This module is the engine room behind
-:func:`repro.simulation.montecarlo.estimate_collision_probability`:
+This module is the engine room beneath the
+:mod:`repro.simulation.plan` seam (and thus behind
+:func:`repro.simulation.montecarlo.estimate_collision_probability`):
+the registered engines slice trial-index ranges into rounds and hand
+them to :func:`count_range` here. Three mechanisms live in this file:
 
 * **Sharding** — independent seeded trials are strided across worker
   processes (``concurrent.futures.ProcessPoolExecutor``). Every trial's
@@ -324,6 +327,119 @@ def _is_picklable(*objects: Any) -> bool:
         return False
 
 
+def _warn_unpicklable(stacklevel: int = 3) -> None:
+    warnings.warn(
+        "factories are not picklable; running trials serially "
+        "(use SpecFactory / ObliviousFactory / AttackFactory for "
+        "cross-process execution)",
+        RuntimeWarning,
+        stacklevel=stacklevel,
+    )
+
+
+#: Fires the numpy-missing fallback warning once per process instead of
+#: once per ``estimate_*`` call (experiment sweeps made it deafening).
+_numpy_fallback_warned = False
+
+
+def _resolve_engine_kind(engine: str) -> str:
+    """Normalize an engine name to a trial-block kind.
+
+    ``batched`` is the python RNG universe with the batched fast path
+    forced on, so blocks execute as ``python``; ``numpy`` degrades to
+    ``python`` (with a once-per-process warning) when NumPy is absent.
+    Anything else is rejected loudly: this module only knows how to
+    execute the built-in kinds, and silently running the python loop
+    for, say, a registered third-party engine name would return
+    wrong-universe counts with no warning.
+    """
+    if engine == "batched":
+        return "python"
+    if engine == "numpy" and not vectorized.numpy_available():
+        global _numpy_fallback_warned
+        if not _numpy_fallback_warned:
+            _numpy_fallback_warned = True
+            warnings.warn(
+                "NumPy is not installed; engine='numpy' falling back to "
+                "the python engine (estimates will match "
+                "engine='python', not a NumPy-equipped host; this "
+                "warning fires once per process)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        return "python"
+    if engine not in ("python", "numpy"):
+        raise ConfigurationError(
+            f"count_range cannot execute engine {engine!r}; it only "
+            "implements the built-in python/batched/numpy kinds — "
+            "custom engines must provide their own run_rounds"
+        )
+    return engine
+
+
+def count_range(
+    factory: InstanceFactory,
+    m: int,
+    adversary_factory: AdversaryFactory,
+    seed: int,
+    start: int,
+    stop: int,
+    stop_on_collision: bool = True,
+    max_steps: Optional[int] = None,
+    workers: Optional[int] = None,
+    batch: bool = False,
+    engine: str = "python",
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> int:
+    """Count collisions over the trial indices ``[start, stop)``.
+
+    The partition-invariant primitive beneath :func:`run_trials` and
+    the plan-layer engines: each trial's outcome is a pure function of
+    ``(seed, trial index)``, so counts over any index range compose by
+    addition and never depend on ``workers``, ``batch``, or how a
+    caller slices the range into rounds.
+
+    Callers issuing many calls (the plan layer's rounds) pass a shared
+    ``executor`` so worker processes are spawned once, not per call;
+    without one a fresh pool is created when ``workers`` asks for it.
+    """
+    kind = _resolve_engine_kind(engine)  # validate even for empty ranges
+    if stop <= start:
+        return 0
+    count = min(resolve_workers(workers), stop - start)
+    # A caller-supplied executor proves picklability — skip re-probing
+    # (a full pickle round-trip of both factories) on every round.
+    if count > 1 and executor is None and not _is_picklable(
+        factory, adversary_factory
+    ):
+        _warn_unpicklable()
+        count = 1
+    if engine == "batched":
+        batch = True
+    payloads = [
+        (
+            factory,
+            m,
+            adversary_factory,
+            seed,
+            start + shard,
+            count,
+            stop,
+            stop_on_collision,
+            max_steps,
+            batch,
+            kind,
+        )
+        for shard in range(count)
+    ]
+    if count <= 1:
+        return _run_trial_block(payloads[0])
+    if executor is not None:
+        return sum(executor.map(_run_trial_block, payloads))
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        return sum(pool.map(_run_trial_block, payloads))
+
+
 def run_trials(
     factory: InstanceFactory,
     m: int,
@@ -338,72 +454,32 @@ def run_trials(
 ) -> int:
     """Count collisions over ``trials`` independent seeded games.
 
-    Within one engine the result depends only on ``(seed, trials)`` and
-    the factories — never on ``workers`` or ``batch`` — because each
-    trial's outcome is a pure function of its derived seed and addition
-    commutes across shards. ``engine="numpy"`` switches batchable
-    oblivious workloads to the vectorized kernels of
+    Within one RNG universe the result depends only on ``(seed,
+    trials)`` and the factories — never on ``workers`` or ``batch`` —
+    because each trial's outcome is a pure function of its derived seed
+    and addition commutes across shards. ``engine="numpy"`` switches
+    batchable oblivious workloads to the vectorized kernels of
     :mod:`repro.simulation.vectorized` (a separate, equally
     reproducible RNG universe); non-vectorizable workloads run the
-    python path unchanged.
+    python path unchanged. ``engine`` accepts any registered engine
+    name (see :func:`repro.simulation.plan.available_engines`) —
+    execution goes through that engine's own ``run_rounds``.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    if engine not in vectorized.ENGINES:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; expected one of "
-            f"{', '.join(vectorized.ENGINES)}"
+    from repro.simulation.plan import SimulationPlan, TrialTask, get_engine
+
+    plan = SimulationPlan(engine=engine, workers=workers, batch=batch)
+    task = TrialTask(
+        factory=factory,
+        m=m,
+        adversary_factory=adversary_factory,
+        stop_on_collision=stop_on_collision,
+        max_steps=max_steps,
+    )
+    return sum(
+        round_result.collisions
+        for round_result in get_engine(engine).run_rounds(
+            plan, task, seed, 0, trials
         )
-    if engine == "numpy" and not vectorized.numpy_available():
-        warnings.warn(
-            "NumPy is not installed; engine='numpy' falling back to the "
-            "python engine (estimates will match engine='python', not a "
-            "NumPy-equipped host)",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        engine = "python"
-    count = min(resolve_workers(workers), trials)
-    if count > 1 and not _is_picklable(factory, adversary_factory):
-        warnings.warn(
-            "factories are not picklable; running trials serially "
-            "(use SpecFactory / ObliviousFactory / AttackFactory for "
-            "cross-process execution)",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        count = 1
-    if count <= 1:
-        return _run_trial_block(
-            (
-                factory,
-                m,
-                adversary_factory,
-                seed,
-                0,
-                1,
-                trials,
-                stop_on_collision,
-                max_steps,
-                batch,
-                engine,
-            )
-        )
-    payloads = [
-        (
-            factory,
-            m,
-            adversary_factory,
-            seed,
-            offset,
-            count,
-            trials,
-            stop_on_collision,
-            max_steps,
-            batch,
-            engine,
-        )
-        for offset in range(count)
-    ]
-    with ProcessPoolExecutor(max_workers=count) as pool:
-        return sum(pool.map(_run_trial_block, payloads))
+    )

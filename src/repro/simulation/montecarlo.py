@@ -6,190 +6,147 @@ games. Estimates carry Wilson-score confidence intervals, which behave
 sensibly at the extreme frequencies (0 or all collisions) these
 experiments regularly produce.
 
-Trial execution lives in :mod:`repro.simulation.batch`: pass
-``workers=N`` to shard the trials across ``N`` processes and/or
-``batch=True`` to use the batched oblivious fast path. Both options
-are pure go-faster knobs — the returned :class:`Estimate` is
-bit-identical for every combination, because each trial's outcome
-depends only on the root seed and its trial index.
+This module is a thin façade over the estimation seam of
+:mod:`repro.simulation.plan`: *how* trials execute — which engine
+(python game loop, batched set ops, NumPy kernels), how many worker
+processes, what precision to stop at — is described by one frozen
+:class:`~repro.simulation.plan.SimulationPlan` instead of loose
+keyword arguments:
 
-``engine="numpy"`` selects the vectorized trial kernels of
-:mod:`repro.simulation.vectorized`, which simulate whole blocks of
-oblivious trials as array operations (workloads the kernels cannot
-express run the python path unchanged). The NumPy engine samples the
-same per-trial collision distribution but from a *separate RNG
-universe*: estimates are reproducible per engine — and still
-bit-identical at any ``workers=`` count — yet the two engines' numbers
-differ by ordinary Monte-Carlo noise.
+    plan = SimulationPlan(engine="numpy", workers=0,
+                          target_halfwidth=0.01)
+    estimate_profile_collision(factory, m, profile,
+                               trials=100_000, seed=7, plan=plan)
+
+With ``target_halfwidth`` set, sampling stops at the first checkpoint
+whose Wilson half-width is small enough (``trials`` then acts as the
+cap); without it, exactly ``trials`` games run — matching the historic
+behaviour bit for bit. Either way the estimate is identical for any
+``workers=``/round split of the same plan; only switching to the
+``numpy`` engine changes the RNG universe (same distribution,
+different noise).
+
+The pre-plan keyword arguments ``workers=``, ``batch=`` and
+``engine=`` still work but emit a :class:`DeprecationWarning`; they
+will be removed one release after the plan API landed.
 """
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.adversary.base import Adversary
 from repro.adversary.profiles import DemandProfile
-from repro.errors import ConfigurationError
-from repro.simulation.batch import ObliviousFactory, run_trials
+from repro.simulation.batch import (
+    ObliviousFactory,
+    _is_picklable,
+    _warn_unpicklable,
+    resolve_workers,
+)
 from repro.simulation.game import InstanceFactory
-
-
-@dataclass(frozen=True)
-class Estimate:
-    """A binomial proportion estimate with a confidence interval."""
-
-    probability: float
-    trials: int
-    successes: int
-    ci_low: float
-    ci_high: float
-    confidence: float
-
-    def __str__(self) -> str:
-        return (
-            f"{self.probability:.4g} "
-            f"[{self.ci_low:.4g}, {self.ci_high:.4g}] "
-            f"({self.successes}/{self.trials})"
-        )
-
-
-def wilson_interval(
-    successes: int, trials: int, confidence: float = 0.95
-) -> tuple:
-    """Wilson score interval for a binomial proportion."""
-    if trials <= 0:
-        raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    if not 0 < confidence < 1:
-        raise ConfigurationError(
-            f"confidence must be in (0,1), got {confidence}"
-        )
-    # Normal quantile via the Acklam-style inverse error approximation:
-    # for the common confidences this is plenty accurate.
-    z = _normal_quantile(0.5 + confidence / 2.0)
-    phat = successes / trials
-    denom = 1.0 + z * z / trials
-    center = (phat + z * z / (2 * trials)) / denom
-    half = (
-        z
-        * math.sqrt(
-            phat * (1 - phat) / trials + z * z / (4 * trials * trials)
-        )
-        / denom
-    )
-    low = max(0.0, center - half)
-    high = min(1.0, center + half)
-    # Exact boundary cases: float dust must not push the interval off
-    # the observed proportion.
-    if successes == 0:
-        low = 0.0
-    if successes == trials:
-        high = 1.0
-    return low, high
-
-
-def _normal_quantile(p: float) -> float:
-    """Inverse standard-normal CDF (Beasley-Springer-Moro)."""
-    if not 0 < p < 1:
-        raise ConfigurationError("quantile argument must be in (0,1)")
-    a = [
-        -3.969683028665376e01, 2.209460984245205e02,
-        -2.759285104469687e02, 1.383577518672690e02,
-        -3.066479806614716e01, 2.506628277459239e00,
-    ]
-    b = [
-        -5.447609879822406e01, 1.615858368580409e02,
-        -1.556989798598866e02, 6.680131188771972e01,
-        -1.328068155288572e01,
-    ]
-    c = [
-        -7.784894002430293e-03, -3.223964580411365e-01,
-        -2.400758277161838e00, -2.549732539343734e00,
-        4.374664141464968e00, 2.938163982698783e00,
-    ]
-    d = [
-        7.784695709041462e-03, 3.224671290700398e-01,
-        2.445134137142996e00, 3.754408661907416e00,
-    ]
-    p_low, p_high = 0.02425, 1 - 0.02425
-    if p < p_low:
-        q = math.sqrt(-2 * math.log(p))
-        return (
-            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
-        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
-    if p <= p_high:
-        q = p - 0.5
-        r = q * q
-        return (
-            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
-            * q
-            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
-        )
-    q = math.sqrt(-2 * math.log(1 - p))
-    return -(
-        ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
-    ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
-
+from repro.simulation.plan import (
+    SimulationPlan,
+    TrialTask,
+    fold_legacy_kwargs,
+    run_plan,
+)
+from repro.simulation.stats import (  # noqa: F401 - re-exports
+    Estimate,
+    _normal_quantile,
+    wilson_interval,
+)
 
 AdversaryFactory = Callable[[random.Random], Adversary]
+
+#: Sentinel distinguishing "not passed" from an explicit value for the
+#: deprecated go-faster kwargs.
+_UNSET = object()
+
+_DEFAULT_PLAN = SimulationPlan()
+
+
+def _effective_plan(
+    plan: Optional[SimulationPlan],
+    workers: object,
+    batch: object,
+    engine: object,
+    stacklevel: int = 3,
+) -> SimulationPlan:
+    """Fold the deprecated kwargs into a plan, warning when they appear.
+
+    ``stacklevel`` must point the warning at the *user's* call site.
+    The default fits a direct caller of the public ``estimate_*``
+    functions; a wrapper either passes one more frame per layer of
+    indirection or — like :func:`estimate_profile_collision` — folds
+    the kwargs itself and hands its delegate a finished ``plan``.
+    """
+    base = _DEFAULT_PLAN if plan is None else plan
+    overrides = {}
+    if workers is not _UNSET:
+        overrides["workers"] = workers
+    if batch is not _UNSET:
+        overrides["batch"] = batch
+    if engine is not _UNSET:
+        overrides["engine"] = engine
+    return fold_legacy_kwargs(
+        base,
+        overrides,
+        "the workers=/batch=/engine= keyword argument form",
+        stacklevel=stacklevel,
+    )
 
 
 def estimate_collision_probability(
     factory: InstanceFactory,
     m: int,
     adversary_factory: AdversaryFactory,
-    trials: int,
-    seed: int = 0,
-    confidence: float = 0.95,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    confidence: Optional[float] = None,
     stop_on_collision: bool = True,
     max_steps: Optional[int] = None,
-    workers: Optional[int] = None,
-    batch: bool = False,
-    engine: str = "python",
+    workers: object = _UNSET,
+    batch: object = _UNSET,
+    engine: object = _UNSET,
+    plan: Optional[SimulationPlan] = None,
+    _stacklevel: int = 3,
 ) -> Estimate:
-    """Play ``trials`` independent games; return the collision frequency.
+    """Play seeded games under ``plan``; return the collision frequency.
 
     Each trial gets a fresh adversary (they are stateful) and a derived
-    seed, so the whole estimate is reproducible from ``seed``.
+    seed, so the whole estimate is reproducible from ``seed`` (default
+    ``plan.seed``). ``trials`` caps the sample; a plan with
+    ``target_halfwidth`` stops earlier once the Wilson CI is tight
+    enough, while the default fixed-mode plan runs the cap exactly.
 
-    ``workers=N`` shards the trials across ``N`` processes (``0`` means
-    one per CPU); the factories must then be picklable — see the shims
-    in :mod:`repro.simulation.batch`. ``batch=True`` enables the
-    batched fast path for batchable adversaries (currently sequential
-    :class:`~repro.simulation.batch.ObliviousFactory` instances; others
-    fall back to the game loop). Estimates are bit-identical for every
-    ``workers``/``batch`` combination.
-
-    ``engine="numpy"`` runs batchable oblivious workloads through the
-    vectorized kernels instead — typically an order of magnitude
-    faster, reproducible from ``seed`` at any worker count, but a
-    separate RNG universe whose estimates differ from the python
-    engine's by Monte-Carlo noise.
+    Execution (engine choice, worker processes, batching, round size)
+    belongs to the plan — see :class:`SimulationPlan`. The deprecated
+    ``workers=``/``batch=``/``engine=`` keywords still fold into the
+    plan with a :class:`DeprecationWarning`.
     """
-    if trials < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    collisions = run_trials(
-        factory,
-        m,
-        adversary_factory,
-        trials,
-        seed=seed,
+    effective = _effective_plan(
+        plan, workers, batch, engine, stacklevel=_stacklevel
+    )
+    # Downgrade unpicklable-factory plans here, where the warning can
+    # still point at the caller's line (inside the engine it would
+    # attribute to plan-layer internals). The engine re-probes once for
+    # its own direct callers, but a downgraded plan (workers=None) is
+    # never probed again, so the warning fires exactly once.
+    if resolve_workers(effective.workers) > 1 and not _is_picklable(
+        factory, adversary_factory
+    ):
+        _warn_unpicklable(stacklevel=_stacklevel)
+        effective = effective.evolve(workers=None)
+    task = TrialTask(
+        factory=factory,
+        m=m,
+        adversary_factory=adversary_factory,
         stop_on_collision=stop_on_collision,
         max_steps=max_steps,
-        workers=workers,
-        batch=batch,
-        engine=engine,
     )
-    low, high = wilson_interval(collisions, trials, confidence)
-    return Estimate(
-        probability=collisions / trials,
-        trials=trials,
-        successes=collisions,
-        ci_low=low,
-        ci_high=high,
-        confidence=confidence,
+    return run_plan(
+        effective, task, seed=seed, trials=trials, confidence=confidence
     )
 
 
@@ -197,22 +154,21 @@ def estimate_profile_collision(
     factory: InstanceFactory,
     m: int,
     profile: DemandProfile,
-    trials: int,
-    seed: int = 0,
-    confidence: float = 0.95,
-    workers: Optional[int] = None,
-    batch: bool = True,
-    engine: str = "python",
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    confidence: Optional[float] = None,
+    workers: object = _UNSET,
+    batch: object = _UNSET,
+    engine: object = _UNSET,
+    plan: Optional[SimulationPlan] = None,
 ) -> Estimate:
     """Estimate ``p_A(D)`` for an oblivious profile ``D``.
 
-    Oblivious sequential games are batchable, so ``batch`` defaults to
-    ``True`` here: each instance emits its whole demand vector via
-    ``generate_batch`` instead of stepping the game loop. The estimate
-    is bit-identical either way. Pass ``engine="numpy"`` to simulate
-    whole trial blocks as array operations (see
-    :func:`estimate_collision_probability` for the reproducibility
-    semantics).
+    Oblivious sequential games admit every fast path: the batched
+    ``generate_batch`` trial (on by default, bit-identical to the game
+    loop) and the vectorized kernels of ``plan.engine = "numpy"``. See
+    :func:`estimate_collision_probability` for the plan and
+    reproducibility semantics.
     """
     return estimate_collision_probability(
         factory,
@@ -225,4 +181,7 @@ def estimate_profile_collision(
         workers=workers,
         batch=batch,
         engine=engine,
+        plan=plan,
+        # one wrapper frame between the user and the delegate's warnings
+        _stacklevel=4,
     )

@@ -63,9 +63,6 @@ from repro.simulation.seeds import _MASK64, _splitmix64
 #: uses, which is what makes the two engines separate RNG universes.
 NUMPY_SEED_LABEL = 0x4E505633  # "NPV3"
 
-#: The recognized ``engine=`` values, in documentation order.
-ENGINES = ("python", "numpy")
-
 #: Universes above this bound stay on the python engine: the kernels
 #: do modular arithmetic like ``start + (m - other)`` in uint64, which
 #: needs ``2m < 2**63`` of headroom.

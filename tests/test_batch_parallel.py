@@ -2,10 +2,10 @@
 
 Three guarantees are under test:
 
-* **Determinism** — ``estimate_collision_probability(..., workers=N)``
-  returns a bit-identical :class:`Estimate` for every ``N`` (and for
-  ``batch=True``/``False``), because trial outcomes depend only on the
-  root seed and trial index.
+* **Determinism** — ``estimate_collision_probability`` under a
+  ``SimulationPlan(workers=N)`` returns a bit-identical
+  :class:`Estimate` for every ``N`` (and for ``batch=True``/``False``),
+  because trial outcomes depend only on the root seed and trial index.
 * **Batch equivalence** — ``generate_batch`` emits exactly the IDs
   repeated ``next_id`` calls would, for every registered algorithm,
   under any chunking.
@@ -36,6 +36,7 @@ from repro.simulation.montecarlo import (
     estimate_collision_probability,
     estimate_profile_collision,
 )
+from repro.simulation.plan import SimulationPlan
 
 #: One spec per registered algorithm family (parameterized ones get
 #: concrete arguments).
@@ -131,8 +132,8 @@ class TestParallelDeterminism:
         m = 1 << 14
         estimates = [
             estimate_profile_collision(
-                SpecFactory(spec), m, profile,
-                trials=120, seed=17, workers=workers, batch=batch,
+                SpecFactory(spec), m, profile, trials=120, seed=17,
+                plan=SimulationPlan(workers=workers, batch=batch),
             )
             for workers in (1, 2, 8)
             for batch in (False, True)
@@ -147,7 +148,7 @@ class TestParallelDeterminism:
             estimate_collision_probability(
                 SpecFactory("cluster"), 1 << 14,
                 AttackFactory(ClosestPairAttack, n=6, d=96),
-                workers=workers, **kwargs,
+                plan=SimulationPlan(workers=workers), **kwargs,
             )
             for workers in (1, 2, 8)
         ]
@@ -159,11 +160,12 @@ class TestParallelDeterminism:
         m = 1 << 12
         legacy = estimate_profile_collision(
             lambda mm, rr: make_generator("cluster", mm, rr),
-            m, profile, trials=150, seed=9, batch=False,
+            m, profile, trials=150, seed=9,
+            plan=SimulationPlan(batch=False),
         )
         shimmed = estimate_profile_collision(
             SpecFactory("cluster"), m, profile,
-            trials=150, seed=9, workers=4,
+            trials=150, seed=9, plan=SimulationPlan(workers=4),
         )
         assert legacy == shimmed
 
@@ -172,7 +174,8 @@ class TestParallelDeterminism:
         with pytest.warns(RuntimeWarning, match="picklable"):
             estimate_profile_collision(
                 lambda mm, rr: make_generator("cluster", mm, rr),
-                1 << 12, profile, trials=10, seed=1, workers=2,
+                1 << 12, profile, trials=10, seed=1,
+                plan=SimulationPlan(workers=2),
             )
 
     def test_run_trials_validation(self):

@@ -3,7 +3,7 @@
 Four guarantees are under test:
 
 * **Statistical equivalence** — for every family with a closed form
-  (Random, Cluster, Bins(k), Bins*), the ``engine="numpy"`` estimate
+  (Random, Cluster, Bins(k), Bins*), the ``SimulationPlan(engine="numpy")`` estimate
   agrees with the exact probability of :mod:`repro.analysis.exact`
   within the 95% Wilson CI across a grid of ``(m, profile)`` points;
   Cluster* (no closed form) is checked against the python engine.
@@ -46,6 +46,7 @@ from repro.simulation.montecarlo import (
     estimate_collision_probability,
     estimate_profile_collision,
 )
+from repro.simulation.plan import SimulationPlan
 from repro.simulation.seeds import derive_seed
 from repro.simulation.vectorized import (
     NUMPY_SEED_LABEL,
@@ -148,7 +149,7 @@ def test_numpy_engine_matches_exact_within_wilson_ci(
         profile,
         trials=4000,
         seed=2_000_107 + 7919 * index,
-        engine="numpy",
+        plan=SimulationPlan(engine="numpy"),
     )
     exact = _exact_probability(spec, m, profile)
     assert estimate.ci_low <= exact <= estimate.ci_high, (
@@ -162,11 +163,11 @@ def test_cluster_star_engines_statistically_agree():
     profile = DemandProfile((100, 80, 60, 40))
     python_est = estimate_profile_collision(
         SpecFactory("cluster_star"), 16384, profile,
-        trials=1500, seed=3, engine="python",
+        trials=1500, seed=3, plan=SimulationPlan(engine="python"),
     )
     numpy_est = estimate_profile_collision(
         SpecFactory("cluster_star"), 16384, profile,
-        trials=8000, seed=3, engine="numpy",
+        trials=8000, seed=3, plan=SimulationPlan(engine="numpy"),
     )
     assert (
         numpy_est.ci_low <= python_est.ci_high
@@ -198,7 +199,7 @@ REGRESSION_GOLDENS = [
 def test_numpy_engine_fixed_seed_regression(spec, m, demands, successes):
     estimate = estimate_profile_collision(
         SpecFactory(spec), m, DemandProfile(demands),
-        trials=2000, seed=123, engine="numpy",
+        trials=2000, seed=123, plan=SimulationPlan(engine="numpy"),
     )
     assert estimate.successes == successes
 
@@ -207,11 +208,12 @@ def test_numpy_engine_bit_identical_across_workers():
     profile = DemandProfile((32,) * 8)
     serial = estimate_profile_collision(
         SpecFactory("cluster"), 8192, profile,
-        trials=900, seed=11, engine="numpy",
+        trials=900, seed=11, plan=SimulationPlan(engine="numpy"),
     )
     sharded = estimate_profile_collision(
         SpecFactory("cluster"), 8192, profile,
-        trials=900, seed=11, engine="numpy", workers=3,
+        trials=900, seed=11,
+        plan=SimulationPlan(engine="numpy", workers=3),
     )
     assert serial == sharded
 
@@ -272,7 +274,8 @@ def test_numpy_engine_falls_back_bit_identically_for_plain_factories():
 
     results = [
         estimate_profile_collision(
-            factory, 4096, profile, trials=300, seed=9, engine=engine
+            factory, 4096, profile, trials=300, seed=9,
+            plan=SimulationPlan(engine=engine),
         )
         for engine in ("python", "numpy")
     ]
@@ -283,7 +286,7 @@ def test_unknown_engine_rejected():
     with pytest.raises(ConfigurationError):
         estimate_profile_collision(
             SpecFactory("cluster"), 4096, DemandProfile((8, 8)),
-            trials=10, engine="turbo",
+            trials=10, plan=SimulationPlan(engine="turbo"),
         )
 
 
