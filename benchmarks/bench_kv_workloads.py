@@ -1,0 +1,130 @@
+"""KV serving bench: ops/s and tail latency per YCSB workload A–F.
+
+Runs the :class:`~repro.workloads.driver.WorkloadDriver` for every
+workload mix against both targets — a single MiniRocks store and a
+ClusterSimulator fleet — and records throughput plus p50/p95/p99 op
+latency in the benchmark JSON (``extra_info``), so the CI bench-smoke
+artifact carries the full workload × target serving matrix alongside
+the Monte-Carlo engines artifact.
+
+``REPRO_BENCH_SCALE`` scales record/op counts (the CI smoke lane sets
+it well below 1); ``REPRO_BENCH_KV_SHARDS``/``REPRO_BENCH_KV_WORKERS``
+override the shard/executor counts.
+"""
+
+import os
+
+import pytest
+
+from repro.kvstore.options import Options
+from repro.workloads.driver import (
+    DriverConfig,
+    WorkloadDriver,
+    cluster_target_factory,
+    flush_and_report,
+    store_target_factory,
+)
+from repro.workloads.ycsb import WorkloadSpec
+
+BENCH_SEED = 20230414
+WORKLOADS = list("abcdef")
+
+
+def _scaled(base: int, floor: int) -> int:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    return max(floor, int(base * scale))
+
+
+def _spec(workload: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        workload=workload,
+        record_count=_scaled(2000, 200),
+        operation_count=_scaled(8000, 500),
+        value_size=32,
+        max_scan_length=50,
+    )
+
+
+def _config(workload: str) -> DriverConfig:
+    return DriverConfig(
+        spec=_spec(workload),
+        shards=int(os.environ.get("REPRO_BENCH_KV_SHARDS", "2")),
+        workers=int(os.environ.get("REPRO_BENCH_KV_WORKERS", "1")),
+        warmup_operations=_scaled(500, 50),
+        seed=BENCH_SEED,
+    )
+
+
+def _options() -> Options:
+    return Options(memtable_entries=128, block_entries=16)
+
+
+def _record(benchmark, result) -> None:
+    payload = result.to_dict()
+    for key in (
+        "ops_per_second", "p50_us", "p95_us", "p99_us", "mean_us",
+        "operations", "fingerprint",
+    ):
+        benchmark.extra_info[key] = payload[key]
+    print(
+        f"\n{payload['workload'].upper()}: "
+        f"{payload['ops_per_second']:,.0f} ops/s, "
+        f"p50 {payload['p50_us']:.1f} us, p99 {payload['p99_us']:.1f} us "
+        f"({payload['operations']} ops)"
+    )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_kv_workload_store(benchmark, workload):
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["target"] = "store"
+    driver = WorkloadDriver(
+        store_target_factory(_options), _config(workload)
+    )
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    assert result.operations == (
+        driver.config.shards * driver.config.spec.operation_count
+    )
+    _record(benchmark, result)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_kv_workload_cluster(benchmark, workload):
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["target"] = "cluster"
+    driver = WorkloadDriver(
+        cluster_target_factory(4, _options),
+        _config(workload),
+        collect=flush_and_report,
+    )
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    assert result.operations == (
+        driver.config.shards * driver.config.spec.operation_count
+    )
+    report = result.shard_results[0].collected
+    benchmark.extra_info["cache_hit_rate"] = report.cache_hit_rate
+    _record(benchmark, result)
+
+
+def test_kv_driver_worker_determinism(benchmark):
+    """The acceptance gate: workers=1 and workers=4 agree bit-for-bit."""
+    spec = _spec("f")
+    base = dict(spec=spec, shards=4, warmup_operations=100, seed=BENCH_SEED)
+
+    def serial():
+        return WorkloadDriver(
+            store_target_factory(_options),
+            DriverConfig(workers=1, **base),
+        ).run()
+
+    def sharded():
+        return WorkloadDriver(
+            store_target_factory(_options),
+            DriverConfig(workers=4, **base),
+        ).run()
+
+    serial_result = serial()
+    sharded_result = benchmark.pedantic(sharded, rounds=1, iterations=1)
+    assert serial_result.fingerprint == sharded_result.fingerprint
+    assert serial_result.op_counts == sharded_result.op_counts
+    benchmark.extra_info["fingerprint"] = serial_result.fingerprint

@@ -12,6 +12,9 @@ Subcommands
     Monte-Carlo a profile or an adaptive attack.
 ``experiment``
     Run one experiment (or ``all``) and print its markdown table.
+``kv``
+    Drive a YCSB workload (A–F) against a MiniRocks store or a
+    simulated cluster; report ops/s and p50/p95/p99 latency.
 ``report``
     Run the full suite and write EXPERIMENTS-style markdown to a file.
 """
@@ -146,6 +149,102 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if not result.all_passed:
             exit_code = 1
     return exit_code
+
+
+def _cmd_kv(args: argparse.Namespace) -> int:
+    """Drive a YCSB workload through the WorkloadDriver."""
+    import json
+
+    from repro.kvstore.options import Options
+    from repro.workloads.driver import (
+        DriverConfig,
+        WorkloadDriver,
+        cluster_target_factory,
+        flush_and_report,
+        store_target_factory,
+    )
+    from repro.workloads.ycsb import WorkloadSpec
+
+    spec = WorkloadSpec(
+        workload=args.workload,
+        record_count=args.records,
+        operation_count=args.ops,
+        value_size=args.value_size,
+        zipf_theta=args.theta,
+        max_scan_length=args.scan_length,
+    )
+
+    def options() -> Options:
+        return Options(
+            id_algorithm=args.algorithm, id_universe=args.id_universe
+        )
+
+    if args.target == "cluster":
+        factory = cluster_target_factory(args.nodes, options)
+        collect = flush_and_report
+    else:
+        factory = store_target_factory(options)
+        collect = None
+    config = DriverConfig(
+        spec=spec,
+        shards=args.shards,
+        workers=args.workers,
+        warmup_operations=args.warmup,
+        seed=args.seed,
+        rebalance_every=args.rebalance_every,
+    )
+    result = WorkloadDriver(factory, config, collect=collect).run()
+    if args.json:
+        payload = result.to_dict()
+        if args.target == "cluster":
+            payload["cluster"] = [
+                {
+                    "corrupt_block_reads": s.collected.corrupt_block_reads,
+                    "corrupt_results": s.collected.corrupt_results,
+                    "migrations": s.collected.migrations,
+                    "cache_hit_rate": s.collected.cache_hit_rate,
+                    "id_collisions": s.collected.audit.collision_count,
+                }
+                for s in result.shard_results
+            ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    summary = result.histogram.summary()
+    print(
+        f"workload {spec.workload.upper()} x {args.target}: "
+        f"{result.operations} ops over {config.shards} shard(s), "
+        f"workers={config.workers}, seed={config.seed}"
+    )
+    print(
+        f"  throughput  {result.ops_per_second:,.0f} ops/s "
+        f"({result.measured_elapsed_seconds:.2f}s measured, "
+        f"{result.elapsed_seconds:.2f}s total)"
+    )
+    print(
+        f"  latency     p50 {summary['p50_us']:.1f} us | "
+        f"p95 {summary['p95_us']:.1f} us | p99 {summary['p99_us']:.1f} us "
+        f"| max {summary['max_us']:.1f} us"
+    )
+    mix = " ".join(
+        f"{op}={count}" for op, count in sorted(result.op_counts.items())
+    )
+    print(f"  op mix      {mix}")
+    print(f"  fingerprint {result.fingerprint:#010x} (bit-identical at any --workers)")
+    if args.target == "cluster":
+        collisions = sum(
+            s.collected.audit.collision_count for s in result.shard_results
+        )
+        corrupt = sum(
+            s.collected.corrupt_block_reads for s in result.shard_results
+        )
+        migrations = sum(
+            s.collected.migrations for s in result.shard_results
+        )
+        print(
+            f"  cluster     id collisions={collisions} "
+            f"corrupt block reads={corrupt} migrations={migrations}"
+        )
+    return 0
 
 
 def _cmd_worst(args: argparse.Namespace) -> int:
@@ -315,6 +414,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_plan_options(exp)
 
+    kv = sub.add_parser(
+        "kv", help="drive a YCSB workload against a store or cluster"
+    )
+    kv.add_argument(
+        "--workload", default="b", choices=list("abcdef"),
+        help="YCSB mix (E is 95%% scan / 5%% insert)",
+    )
+    kv.add_argument("--target", choices=["store", "cluster"], default="store")
+    kv.add_argument("--records", type=int, default=1000)
+    kv.add_argument("--ops", type=int, default=5000, help="measured logical ops per shard")
+    kv.add_argument("--warmup", type=int, default=0, help="unmeasured ops per shard")
+    kv.add_argument("--value-size", type=int, default=32)
+    kv.add_argument("--theta", type=float, default=0.99, help="zipfian skew")
+    kv.add_argument("--scan-length", type=int, default=100, help="max scan rows (workload E)")
+    kv.add_argument(
+        "--shards", type=int, default=4,
+        help="independent client streams, each with its own target",
+    )
+    kv.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent shard executors (results bit-identical for any N)",
+    )
+    kv.add_argument("--nodes", type=int, default=4, help="cluster target: fleet size")
+    kv.add_argument(
+        "--rebalance-every", type=int, default=None, metavar="K",
+        help="cluster target: migrate SSTs after every K ops",
+    )
+    kv.add_argument("--algorithm", default="cluster", help="file-ID algorithm")
+    kv.add_argument("--id-universe", type=int, default=1 << 64)
+    kv.add_argument("--seed", type=int, default=0)
+    kv.add_argument("--json", action="store_true", help="emit the bench JSON schema")
+
     compare = sub.add_parser(
         "compare", help="side-by-side safety table for a deployment"
     )
@@ -347,6 +478,7 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "kv": _cmd_kv,
     "worst": _cmd_worst,
     "compare": _cmd_compare,
     "report": _cmd_report,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.distributed.migration import (
     MigrationEvent,
@@ -22,6 +22,7 @@ from repro.distributed.migration import (
 from repro.distributed.node import Node
 from repro.errors import ConfigurationError
 from repro.kvstore.blockcache import BlockCache
+from repro.kvstore.memtable import TOMBSTONE
 from repro.kvstore.options import Options
 from repro.simulation.seeds import rng_for
 
@@ -106,6 +107,79 @@ class ClusterSimulator:
         self.node_for_key(key).delete(key)
         self._operations += 1
 
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None,
+        limit: Optional[int] = None,
+    ) -> List[tuple]:
+        """Scatter-gather range scan: every node, one winner per key.
+
+        Keys are hash-routed, so a contiguous key range spans all
+        nodes. After SST migrations a key can surface on several
+        nodes; the routed owner's row — tombstones included, so
+        deletions aren't resurrected by stale copies — is
+        authoritative (it sees every write since the move), with
+        migrated copies only filling in for keys the owner no longer
+        holds at all.
+
+        With a ``limit``, per-node windows are only trusted up to the
+        smallest key at which any node's window was cut (the
+        *frontier*): beyond it a node might still hold an unseen
+        authoritative row or tombstone. If the frontier cuts the
+        result short, the coordinator retries with doubled per-node
+        windows — the pagination loop a production scatter-gather
+        coordinator runs.
+        """
+        self._operations += 1
+        if limit is None:
+            merged, _ = self._merge_node_scans(start, end, None)
+            return [
+                (key, value)
+                for key, value in sorted(merged.items())
+                if value != TOMBSTONE
+            ]
+        per_node = limit
+        while True:
+            merged, frontier = self._merge_node_scans(start, end, per_node)
+            rows = [
+                (key, value)
+                for key, value in sorted(merged.items())
+                if value != TOMBSTONE
+                and (frontier is None or key <= frontier)
+            ]
+            if frontier is None or len(rows) >= limit:
+                return rows[:limit]
+            per_node *= 2
+
+    def _merge_node_scans(
+        self, start: bytes, end: Optional[bytes], per_node: Optional[int]
+    ):
+        """One scatter-gather round with owner-wins merge semantics.
+
+        Returns ``(merged, frontier)``: ``merged`` maps each key to
+        its winning value (tombstones included), ``frontier`` is the
+        largest key up to which **every** node's contribution is
+        complete (None when no node's window was cut).
+        """
+        merged: Dict[bytes, bytes] = {}
+        frontier: Optional[bytes] = None
+        # Ask for one extra live row so a full window is
+        # distinguishable from an exactly-exhausted node.
+        request = None if per_node is None else per_node + 1
+        for node in self.nodes:
+            rows = node.scan(start, end, request, include_tombstones=True)
+            if request is not None:
+                live = sum(1 for _, v in rows if v != TOMBSTONE)
+                if live >= request:
+                    last_key = rows[-1][0]
+                    if frontier is None or last_key < frontier:
+                        frontier = last_key
+            for key, value in rows:
+                if self.node_for_key(key) is node:
+                    merged[key] = value  # the owner always wins
+                elif key not in merged:
+                    merged[key] = value
+        return merged, frontier
+
     # -- cluster operations --------------------------------------------------
 
     def rebalance(self, max_moves: int = 1) -> List[MigrationEvent]:
@@ -130,19 +204,19 @@ class ClusterSimulator:
     ) -> None:
         """Drive a sequence of ``(op, key, value)`` operations.
 
-        ``op`` is ``"put" | "get" | "delete"``. With
-        ``rebalance_every=k`` the balancer runs after every k ops —
-        interleaving migrations with traffic, as production does.
+        ``op`` is ``"put" | "get" | "delete" | "rmw" | "scan"``; the
+        composite-op semantics (``rmw`` = get + put pair, ``scan`` =
+        up to ``int(value)`` rows from ``key``) come from the shared
+        executor :func:`repro.workloads.driver.execute_op`. With
+        ``rebalance_every=k`` the balancer runs after every k logical
+        ops — interleaving migrations with traffic, as production
+        does.
         """
+        # Deferred import: workloads.driver imports this module.
+        from repro.workloads.driver import execute_op
+
         for index, (op, key, value) in enumerate(operations, start=1):
-            if op == "put":
-                self.put(key, value)
-            elif op == "get":
-                self.get(key)
-            elif op == "delete":
-                self.delete(key)
-            else:
-                raise ConfigurationError(f"unknown workload op {op!r}")
+            execute_op(self, op, key, value)
             if (
                 rebalance_every is not None
                 and index % rebalance_every == 0

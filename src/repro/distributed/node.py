@@ -45,6 +45,15 @@ class Node:
     def delete(self, key: bytes) -> None:
         self.db.delete(key)
 
+    def scan(
+        self,
+        start: bytes,
+        end: Optional[bytes] = None,
+        limit: Optional[int] = None,
+        include_tombstones: bool = False,
+    ) -> List[Tuple[bytes, bytes]]:
+        return self.db.scan(start, end, limit, include_tombstones)
+
     # -- migration ----------------------------------------------------------
 
     def exportable_files(self) -> List[Tuple[int, SSTable]]:

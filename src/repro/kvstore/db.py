@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 from repro.errors import CorruptionDetectedError, KVStoreError
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.compaction import pick_compaction, run_compaction
+from repro.kvstore.iterators import iterate_db
 from repro.kvstore.manifest import Manifest
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.options import Options
@@ -37,6 +38,7 @@ class DBStats:
     puts: int = 0
     gets: int = 0
     deletes: int = 0
+    scans: int = 0
     flushes: int = 0
     compactions: int = 0
     bloom_negative: int = 0
@@ -120,15 +122,45 @@ class MiniRocks:
         return [self.get(key) for key in keys]
 
     def scan(
-        self, start: bytes, end: bytes, limit: Optional[int] = None
+        self, start: bytes, end: Optional[bytes] = None,
+        limit: Optional[int] = None, include_tombstones: bool = False,
     ) -> List[Tuple[bytes, bytes]]:
         """Range scan over ``[start, end)``, newest version per key.
 
-        Scans merge memtable and all live SSTs directly (bypassing the
-        cache — scans in the real system use their own readahead path).
+        ``end=None`` scans to the end of the key space (with ``limit``
+        this is the YCSB workload-E shape: "``limit`` rows from
+        ``start``"). Scans merge memtable and all live SSTs directly
+        (bypassing the cache — scans in the real system use their own
+        readahead path). ``include_tombstones=True`` keeps deletion
+        markers in the result — for distributed coordinators that must
+        see this store's deletions when merging against other copies —
+        and ``limit`` then bounds **live** rows only, so markers ride
+        along without consuming the row budget.
         """
-        if start >= end:
+        self.stats.scans += 1
+        if end is not None and start >= end:
             return []
+        if end is None and limit is not None:
+            # Open-ended bounded scan (the YCSB workload-E shape):
+            # stream through the merging iterator — sources pruned and
+            # already positioned at `start` by iterate_db, so no seek
+            # is needed — instead of materializing (or walking) the
+            # key space on either side of the range.
+            iterator = iterate_db(self, start)
+            entries = (
+                iterator.iter_with_tombstones()
+                if include_tombstones
+                else iterator
+            )
+            result = []
+            live = 0
+            for key, value in entries:
+                if live >= limit:
+                    break
+                result.append((key, value))
+                if value != TOMBSTONE:
+                    live += 1
+            return result
         winners = {}
         # Oldest sources first so newer sources overwrite.
         for level_index in range(self.manifest.num_levels - 1, 0, -1):
@@ -137,23 +169,29 @@ class MiniRocks:
         for sst in reversed(self.manifest.level(0)):  # oldest L0 first
             self._collect_range(sst, start, end, winners)
         for key, value in self.memtable.sorted_entries():
-            if start <= key < end:
+            if start <= key and (end is None or key < end):
                 winners[key] = value
-        result = [
-            (key, value)
-            for key, value in sorted(winners.items())
-            if value != TOMBSTONE
-        ]
-        if limit is not None:
-            result = result[:limit]
+        result = []
+        live = 0
+        for key, value in sorted(winners.items()):
+            if limit is not None and live >= limit:
+                break
+            if value == TOMBSTONE:
+                if include_tombstones:
+                    result.append((key, value))
+                continue
+            result.append((key, value))
+            live += 1
         return result
 
     @staticmethod
-    def _collect_range(sst: SSTable, start: bytes, end: bytes, out: dict) -> None:
-        if sst.max_key < start or sst.min_key >= end:
+    def _collect_range(
+        sst: SSTable, start: bytes, end: Optional[bytes], out: dict
+    ) -> None:
+        if sst.max_key < start or (end is not None and sst.min_key >= end):
             return
         for key, value in sst.iter_entries():
-            if start <= key < end:
+            if start <= key and (end is None or key < end):
                 out[key] = value
 
     def _lookup_in_sst(

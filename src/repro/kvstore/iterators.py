@@ -9,6 +9,7 @@ engines use for range reads and compaction previews.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from typing import Iterator, List, Optional, Tuple
 
@@ -77,6 +78,19 @@ class LSMIterator:
             if value != TOMBSTONE:
                 return key, value
 
+    def iter_with_tombstones(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key, newest value)`` including tombstone markers.
+
+        Distributed scans need this: a coordinator merging per-node
+        results must see a node's deletions to stop stale migrated
+        copies on other nodes from resurrecting the key.
+        """
+        while True:
+            group = self._pop_next_version_group()
+            if group is None:
+                return
+            yield group
+
     def seek(self, key: bytes) -> None:
         """Advance past every entry with a key below ``key``.
 
@@ -91,27 +105,44 @@ class LSMIterator:
         return self._heap[0][0] if self._heap else None
 
 
-def iterate_db(db) -> LSMIterator:
+def iterate_db(db, start: Optional[bytes] = None) -> LSMIterator:
     """Build an :class:`LSMIterator` over a ``MiniRocks`` instance.
 
     Sources newest first: memtable snapshot, then L0 newest→oldest,
     then L1..Lmax (non-overlapping levels are each one sorted stream).
+    With ``start``, every source is positioned at the first entry
+    ``>= start`` (files entirely below it are pruned), so a seeked
+    scan costs O(rows read), not O(keys below ``start``).
     """
-    sources: List[Iterator[Tuple[bytes, bytes]]] = [
-        iter(list(db.memtable.sorted_entries()))
-    ]
+    memtable_entries = list(db.memtable.sorted_entries())
+    if start is not None:
+        keys = [key for key, _ in memtable_entries]
+        memtable_entries = memtable_entries[bisect.bisect_left(keys, start):]
+    sources: List[Iterator[Tuple[bytes, bytes]]] = [iter(memtable_entries)]
     for sst in db.manifest.level(0):
-        sources.append(sst.iter_entries())
+        if start is not None and sst.max_key < start:
+            continue
+        sources.append(
+            sst.iter_entries() if start is None
+            else sst.iter_entries_from(start)
+        )
     for level_index in range(1, db.manifest.num_levels):
         files = db.manifest.level(level_index)
         if files:
-            sources.append(_chain_sorted_files(files))
+            sources.append(_chain_sorted_files(files, start))
     return LSMIterator(sources)
 
 
-def _chain_sorted_files(files) -> Iterator[Tuple[bytes, bytes]]:
+def _chain_sorted_files(
+    files, start: Optional[bytes] = None
+) -> Iterator[Tuple[bytes, bytes]]:
     for sst in files:
-        yield from sst.iter_entries()
+        if start is not None and sst.max_key < start:
+            continue
+        if start is None:
+            yield from sst.iter_entries()
+        else:
+            yield from sst.iter_entries_from(start)
 
 
 def range_count(db, start: bytes, end: bytes) -> int:
@@ -119,8 +150,7 @@ def range_count(db, start: bytes, end: bytes) -> int:
     values — an iterator-based alternative to ``len(db.scan(...))``."""
     if start >= end:
         return 0
-    iterator = iterate_db(db)
-    iterator.seek(start)
+    iterator = iterate_db(db, start)  # sources already positioned
     count = 0
     for key, _value in iterator:
         if key >= end:

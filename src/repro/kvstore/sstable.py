@@ -191,6 +191,18 @@ class SSTable:
         for block in self.blocks:
             yield from block.entries()
 
+    def iter_entries_from(self, start: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Entries with key >= ``start`` in key order (tombstones
+        included). Positions by block-index bisect plus an in-block
+        bisect, so a seeked scan decodes only the blocks it reads."""
+        block_index = bisect.bisect_left(self._index_keys, start)
+        for block in self.blocks[block_index:]:
+            entries = block.entries()
+            if entries and entries[0][0] < start:
+                keys = [key for key, _ in entries]
+                entries = entries[bisect.bisect_left(keys, start):]
+            yield from entries
+
     def live_entry_count(self) -> int:
         """Entries that are not tombstones."""
         return sum(1 for _, v in self.iter_entries() if v != TOMBSTONE)

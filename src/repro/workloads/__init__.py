@@ -1,4 +1,5 @@
-"""Workload generators: YCSB-style KV traffic and UUIDP demand profiles."""
+"""Workload generators: YCSB-style KV traffic, the serving-benchmark
+driver, and UUIDP demand profiles."""
 
 from repro.workloads.demand import (
     doubling_demand_sweep,
@@ -9,11 +10,24 @@ from repro.workloads.demand import (
     zipf_profiles,
 )
 from repro.workloads.distributions import (
+    EXACT_CDF_MAX,
     KeyPicker,
     LatestPicker,
     ScrambledZipfianPicker,
     UniformPicker,
+    ZipfianApproxPicker,
     ZipfianPicker,
+    make_zipfian,
+)
+from repro.workloads.driver import (
+    DriverConfig,
+    DriverResult,
+    LatencyHistogram,
+    ShardResult,
+    WorkloadDriver,
+    cluster_target_factory,
+    flush_and_report,
+    store_target_factory,
 )
 from repro.workloads.ycsb import (
     WorkloadSpec,
@@ -28,6 +42,9 @@ __all__ = [
     "KeyPicker",
     "UniformPicker",
     "ZipfianPicker",
+    "ZipfianApproxPicker",
+    "make_zipfian",
+    "EXACT_CDF_MAX",
     "ScrambledZipfianPicker",
     "LatestPicker",
     "WorkloadSpec",
@@ -36,6 +53,14 @@ __all__ = [
     "load_phase",
     "run_phase",
     "full_workload",
+    "DriverConfig",
+    "DriverResult",
+    "LatencyHistogram",
+    "ShardResult",
+    "WorkloadDriver",
+    "store_target_factory",
+    "cluster_target_factory",
+    "flush_and_report",
     "uniform_profiles",
     "skewed_pair_grid",
     "random_compositions",

@@ -1,0 +1,476 @@
+"""The workload driver: YCSB streams executed as a serving benchmark.
+
+:class:`WorkloadDriver` turns the op streams of
+:mod:`repro.workloads.ycsb` into a production-style harness. A run is
+``shards`` independent client streams, each driving its **own** target
+instance (a :class:`~repro.kvstore.db.MiniRocks` store or a
+:class:`~repro.distributed.cluster.ClusterSimulator` fleet) through
+three phases: bulk load, warmup (executed, not measured), and the
+measured phase, with per-op latency captured in a log-bucketed
+:class:`LatencyHistogram` (p50/p95/p99) plus aggregate throughput.
+
+Determinism contract (the same one the engine registry established for
+Monte-Carlo in ``repro.simulation.plan``): shard ``s``'s op stream and
+its target's RNG derive from
+``derive_seed(config.seed, _SHARD_LABEL, s)``, so each shard's op
+stream and per-op outcomes are pure functions of ``(seed, shard)``.
+``workers`` only chooses how many shards execute concurrently —
+fingerprints, op counts, and every per-op outcome are **bit-identical
+at any** ``workers=`` **count**; only wall-clock metrics (ops/s,
+latency percentiles) vary run to run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.distributed.cluster import ClusterSimulator
+from repro.errors import ConfigurationError
+from repro.kvstore.db import MiniRocks
+from repro.kvstore.options import Options
+from repro.simulation.seeds import derive_seed
+from repro.workloads.ycsb import WorkloadSpec, load_phase, run_phase
+
+#: Seed-path labels (arbitrary, fixed constants — part of the
+#: reproducibility contract, never change them).
+_SHARD_LABEL = 0xD21E
+_STREAM_LABEL = 0x0B5
+_TARGET_LABEL = 0x7A6
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with ~6% relative resolution.
+
+    HdrHistogram-style: powers of two split into 16 linear sub-buckets,
+    so ``record`` is O(1), memory is O(log(max latency)), and
+    percentiles come back with bounded relative error — the structure
+    production serving benchmarks use, and cheap enough to sit on the
+    per-op hot path.
+    """
+
+    SUBBUCKET_BITS = 4
+    SUBBUCKETS = 1 << SUBBUCKET_BITS
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total_ns = 0
+        self.max_ns = 0
+
+    @classmethod
+    def _bucket_of(cls, ns: int) -> int:
+        if ns < cls.SUBBUCKETS:
+            return ns
+        msb = ns.bit_length() - 1
+        shift = msb - cls.SUBBUCKET_BITS
+        sub = ns >> shift  # in [SUBBUCKETS, 2*SUBBUCKETS)
+        return (shift + 1) * cls.SUBBUCKETS + (sub - cls.SUBBUCKETS)
+
+    @classmethod
+    def _bucket_midpoint(cls, bucket: int) -> int:
+        if bucket < cls.SUBBUCKETS:
+            return bucket
+        level = bucket // cls.SUBBUCKETS  # == shift + 1 from _bucket_of
+        sub = bucket % cls.SUBBUCKETS + cls.SUBBUCKETS
+        width = 1 << (level - 1)
+        return (sub << (level - 1)) + (width - 1) // 2
+
+    def record(self, ns: int) -> None:
+        """Record one latency sample, in nanoseconds."""
+        if ns < 0:
+            ns = 0
+        bucket = self._bucket_of(ns)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total_ns += ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+        self.count += other.count
+        self.total_ns += other.total_ns
+        self.max_ns = max(self.max_ns, other.max_ns)
+
+    def percentile(self, q: float) -> int:
+        """Latency (ns) at quantile ``q`` in [0, 1], to bucket accuracy."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0
+        threshold = q * self.count
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen >= threshold:
+                return self._bucket_midpoint(bucket)
+        return self.max_ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The tail numbers a serving benchmark reports, in microseconds."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_ns / 1000.0,
+            "p50_us": self.percentile(0.50) / 1000.0,
+            "p95_us": self.percentile(0.95) / 1000.0,
+            "p99_us": self.percentile(0.99) / 1000.0,
+            "max_us": self.max_ns / 1000.0,
+        }
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """Policy object for one :class:`WorkloadDriver` run."""
+
+    spec: WorkloadSpec
+    #: Independent client streams, each with its own target instance.
+    #: Fixed by config — NOT by ``workers`` — so results don't depend
+    #: on execution parallelism.
+    shards: int = 4
+    #: How many shards execute concurrently (wall-clock only).
+    workers: int = 1
+    #: Ops per shard executed (and discarded) before measurement; the
+    #: measured phase continues the same stream.
+    warmup_operations: int = 0
+    seed: int = 0
+    #: Cluster targets only: run the load balancer after every k
+    #: logical ops (load + warmup + measured all count).
+    rebalance_every: Optional[int] = None
+    moves_per_rebalance: int = 2
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.warmup_operations < 0:
+            raise ConfigurationError("warmup_operations must be >= 0")
+        if self.rebalance_every is not None and self.rebalance_every < 1:
+            raise ConfigurationError("rebalance_every must be >= 1")
+
+
+@dataclass
+class ShardResult:
+    """What one shard's client stream produced."""
+
+    shard: int
+    #: Measured logical ops executed (== spec.operation_count).
+    operations: int
+    histogram: LatencyHistogram
+    #: CRC32 over every measured op and its outcome — the determinism
+    #: witness: pure in (seed, shard).
+    fingerprint: int
+    op_counts: Dict[str, int]
+    #: Wall-clock duration of this shard's measured phase.
+    elapsed_seconds: float
+    #: Absolute perf_counter() bounds of the measured phase (equal when
+    #: nothing was measured); the aggregate throughput span comes from
+    #: these, so concurrent shards aren't double-counted.
+    measure_started: float = 0.0
+    measure_ended: float = 0.0
+    #: Whatever the ``collect`` callback returned for this shard's
+    #: target (e.g. a ClusterReport), or None.
+    collected: Any = None
+
+
+@dataclass
+class DriverResult:
+    """Aggregate of a full driver run."""
+
+    config: DriverConfig
+    shard_results: List[ShardResult]
+    #: Whole-run wall clock (target build + load + warmup + measured +
+    #: collect); throughput uses :attr:`measured_elapsed_seconds`.
+    elapsed_seconds: float
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def __post_init__(self) -> None:
+        for shard in self.shard_results:
+            self.histogram.merge(shard.histogram)
+
+    @property
+    def operations(self) -> int:
+        """Total measured logical ops across shards."""
+        return sum(s.operations for s in self.shard_results)
+
+    @property
+    def measured_elapsed_seconds(self) -> float:
+        """Wall-clock time spent inside measured phases: the union of
+        the shards' measured intervals. Load, warmup, and collect time
+        are excluded (serial shards contribute disjoint intervals that
+        sum; concurrent shards overlap rather than double-counting)."""
+        intervals = sorted(
+            (s.measure_started, s.measure_ended)
+            for s in self.shard_results
+            if s.operations > 0
+        )
+        total = 0.0
+        span_start: Optional[float] = None
+        span_end = 0.0
+        for start, end in intervals:
+            if span_start is None or start > span_end:
+                if span_start is not None:
+                    total += span_end - span_start
+                span_start, span_end = start, end
+            else:
+                span_end = max(span_end, end)
+        if span_start is not None:
+            total += span_end - span_start
+        return total
+
+    @property
+    def ops_per_second(self) -> float:
+        """Measured-phase throughput (measured ops / measured span)."""
+        span = self.measured_elapsed_seconds
+        if span <= 0:
+            return 0.0
+        return self.operations / span
+
+    @property
+    def fingerprint(self) -> int:
+        """Order-fixed combination of the per-shard fingerprints."""
+        crc = 0
+        for shard in self.shard_results:
+            crc = zlib.crc32(
+                shard.fingerprint.to_bytes(4, "little"), crc
+            )
+        return crc
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for shard in self.shard_results:
+            for op, count in shard.op_counts.items():
+                merged[op] = merged.get(op, 0) + count
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (the bench artifact schema)."""
+        summary = self.histogram.summary()
+        return {
+            "workload": self.config.spec.workload,
+            "record_count": self.config.spec.record_count,
+            "operations": self.operations,
+            "shards": self.config.shards,
+            "workers": self.config.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+            "measured_elapsed_seconds": self.measured_elapsed_seconds,
+            "ops_per_second": self.ops_per_second,
+            "fingerprint": self.fingerprint,
+            "op_counts": self.op_counts,
+            **summary,
+        }
+
+
+#: Builds one shard's target. Called with (shard index, shard seed).
+TargetFactory = Callable[[int, int], Any]
+
+
+def execute_op(target: Any, op: str, key: bytes, value: bytes) -> bytes:
+    """Run one logical op against a store/cluster target; return its
+    outcome digest bytes.
+
+    This is **the** executor for the composite ops of
+    :mod:`repro.workloads.ycsb` — ``rmw`` performs its get + put pair,
+    ``scan`` reads up to ``int(value)`` rows from ``key`` — shared by
+    the driver and ``ClusterSimulator.run_workload`` so the two can
+    never drift on op semantics.
+    """
+    if op == "get":
+        result = target.get(key)
+        return b"\x00" if result is None else b"\x01" + result
+    if op == "put":
+        target.put(key, value)
+        return b"\x02"
+    if op == "delete":
+        target.delete(key)
+        return b"\x03"
+    if op == "rmw":
+        current = target.get(key)
+        target.put(key, value)
+        return b"\x00" if current is None else b"\x01" + current
+    if op == "scan":
+        rows = target.scan(key, None, int(value))
+        digest = 0
+        for row_key, row_value in rows:
+            digest = zlib.crc32(row_value, zlib.crc32(row_key, digest))
+        return len(rows).to_bytes(4, "little") + digest.to_bytes(4, "little")
+    raise ConfigurationError(f"unknown workload op {op!r}")
+
+
+def flush_and_report(sim: ClusterSimulator):
+    """The standard cluster ``collect`` callback: flush every node's
+    memtable (so trailing writes mint their file IDs) and return the
+    :class:`~repro.distributed.cluster.ClusterReport`."""
+    sim.flush_all()
+    return sim.report()
+
+
+def store_target_factory(
+    options_factory: Callable[[], Options]
+) -> TargetFactory:
+    """Each shard drives a private :class:`MiniRocks` instance."""
+
+    def factory(shard: int, shard_seed: int) -> MiniRocks:
+        return MiniRocks(
+            options_factory(),
+            rng=random.Random(derive_seed(shard_seed, _TARGET_LABEL)),
+            name=f"shard{shard}",
+        )
+
+    return factory
+
+
+def cluster_target_factory(
+    num_nodes: int,
+    options_factory: Callable[[], Options],
+    cache_blocks: int = 8192,
+) -> TargetFactory:
+    """Each shard drives a private :class:`ClusterSimulator` fleet."""
+
+    def factory(shard: int, shard_seed: int) -> ClusterSimulator:
+        return ClusterSimulator(
+            num_nodes,
+            options_factory,
+            cache_blocks=cache_blocks,
+            seed=derive_seed(shard_seed, _TARGET_LABEL),
+        )
+
+    return factory
+
+
+class WorkloadDriver:
+    """Executes a :class:`DriverConfig` against per-shard targets.
+
+    Parameters
+    ----------
+    target_factory:
+        Builds one shard's target; see :func:`store_target_factory`
+        and :func:`cluster_target_factory`. The target must expose
+        ``put/get/delete`` and ``scan(start, end=None, limit=None)``.
+    config:
+        The run policy.
+    collect:
+        Optional callback invoked with each shard's target after its
+        measured phase; its return value lands in
+        :attr:`ShardResult.collected` (e.g. flush + report a cluster).
+    """
+
+    def __init__(
+        self,
+        target_factory: TargetFactory,
+        config: DriverConfig,
+        collect: Optional[Callable[[Any], Any]] = None,
+    ):
+        self.target_factory = target_factory
+        self.config = config
+        self.collect = collect
+
+    # -- op execution -------------------------------------------------------
+
+    _execute = staticmethod(execute_op)
+
+    # -- shard execution ----------------------------------------------------
+
+    def _run_shard(self, shard: int) -> ShardResult:
+        config = self.config
+        shard_seed = derive_seed(config.seed, _SHARD_LABEL, shard)
+        target = self.target_factory(shard, shard_seed)
+        rng = random.Random(derive_seed(shard_seed, _STREAM_LABEL))
+        spec = config.spec
+        rebalance_every = config.rebalance_every
+        can_rebalance = (
+            rebalance_every is not None
+            and hasattr(target, "rebalance")
+            and len(getattr(target, "nodes", ())) >= 2
+        )
+        op_index = 0
+
+        def tick() -> None:
+            nonlocal op_index
+            op_index += 1
+            if can_rebalance and op_index % rebalance_every == 0:
+                target.rebalance(max_moves=config.moves_per_rebalance)
+
+        # Phase 1: bulk load (unmeasured).
+        for op, key, value in load_phase(spec, rng):
+            self._execute(target, op, key, value)
+            tick()
+        # Phases 2+3 continue one stream: warmup ops are executed and
+        # discarded, the rest are measured.
+        stream_spec = replace(
+            spec,
+            operation_count=spec.operation_count + config.warmup_operations,
+        )
+        histogram = LatencyHistogram()
+        fingerprint = 0
+        op_counts: Dict[str, int] = {}
+        measured = 0
+        start_measure: Optional[float] = None
+        for index, (op, key, value) in enumerate(
+            run_phase(stream_spec, rng)
+        ):
+            if index < config.warmup_operations:
+                self._execute(target, op, key, value)
+                tick()
+                continue
+            if start_measure is None:
+                start_measure = time.perf_counter()
+            began = time.perf_counter_ns()
+            outcome = self._execute(target, op, key, value)
+            histogram.record(time.perf_counter_ns() - began)
+            tick()
+            measured += 1
+            op_counts[op] = op_counts.get(op, 0) + 1
+            fingerprint = zlib.crc32(
+                op.encode() + key + outcome, fingerprint
+            )
+        measure_ended = time.perf_counter()
+        if start_measure is None:
+            start_measure = measure_ended
+        collected = self.collect(target) if self.collect else None
+        return ShardResult(
+            shard=shard,
+            operations=measured,
+            histogram=histogram,
+            fingerprint=fingerprint,
+            op_counts=op_counts,
+            elapsed_seconds=measure_ended - start_measure,
+            measure_started=start_measure,
+            measure_ended=measure_ended,
+            collected=collected,
+        )
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self) -> DriverResult:
+        """Execute every shard; aggregate latency + throughput."""
+        config = self.config
+        started = time.perf_counter()
+        if config.workers == 1 or config.shards == 1:
+            shard_results = [
+                self._run_shard(shard) for shard in range(config.shards)
+            ]
+        else:
+            workers = min(config.workers, config.shards)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                shard_results = list(
+                    pool.map(self._run_shard, range(config.shards))
+                )
+        elapsed = time.perf_counter() - started
+        return DriverResult(
+            config=config,
+            shard_results=shard_results,
+            elapsed_seconds=elapsed,
+        )

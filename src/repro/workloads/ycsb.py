@@ -1,8 +1,9 @@
 """YCSB-style workload generators for the KV substrate.
 
 Generates streams of ``(op, key, value)`` tuples consumable by
-:meth:`repro.distributed.cluster.ClusterSimulator.run_workload` or a
-single :class:`~repro.kvstore.db.MiniRocks`. The standard mixes:
+:meth:`repro.distributed.cluster.ClusterSimulator.run_workload`, a
+single :class:`~repro.kvstore.db.MiniRocks`, or the
+:class:`~repro.workloads.driver.WorkloadDriver`. The standard mixes:
 
 ====  ======================  =====================
 name  mix                     distribution
@@ -11,8 +12,18 @@ A     50% read / 50% update   zipfian
 B     95% read / 5% update    zipfian
 C     100% read               zipfian
 D     95% read / 5% insert    latest
-F     50% read / 50% RMW      zipfian (RMW = get+put)
+E     95% scan / 5% insert    zipfian (scan starts)
+F     50% read / 50% RMW      zipfian
 ====  ======================  =====================
+
+Every stream emits **exactly** ``operation_count`` logical operations.
+Two ops are composite at execution time:
+
+* ``("rmw", key, new_value)`` — read-modify-write, one logical op;
+  the executor performs its get + put pair.
+* ``("scan", start_key, ascii-length)`` — range scan of up to
+  ``int(value)`` rows starting at ``start_key``; the executor runs it
+  through the store's scan/iterator path.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from typing import Iterator, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.workloads.distributions import (
+    KeyPicker,
     LatestPicker,
     ScrambledZipfianPicker,
     UniformPicker,
@@ -31,12 +43,16 @@ from repro.workloads.distributions import (
 Operation = Tuple[str, bytes, bytes]
 
 _MIXES = {
-    "a": (0.5, 0.0, 0.5, 0.0),
-    "b": (0.95, 0.0, 0.05, 0.0),
-    "c": (1.0, 0.0, 0.0, 0.0),
-    "d": (0.95, 0.05, 0.0, 0.0),
-    "f": (0.5, 0.0, 0.0, 0.5),
-}  # (read, insert, update, read-modify-write)
+    "a": (0.5, 0.0, 0.5, 0.0, 0.0),
+    "b": (0.95, 0.0, 0.05, 0.0, 0.0),
+    "c": (1.0, 0.0, 0.0, 0.0, 0.0),
+    "d": (0.95, 0.05, 0.0, 0.0, 0.0),
+    "e": (0.0, 0.05, 0.0, 0.0, 0.95),
+    "f": (0.5, 0.0, 0.0, 0.5, 0.0),
+}  # (read, insert, update, read-modify-write, scan)
+
+#: Workloads whose reads target recently inserted keys.
+_LATEST_WORKLOADS = frozenset({"d"})
 
 
 def encode_key(index: int, width: int = 12) -> bytes:
@@ -59,6 +75,8 @@ class WorkloadSpec:
     value_size: int = 32
     zipf_theta: float = 0.99
     uniform: bool = False  # override zipfian with uniform picks
+    #: Scan lengths (workload E) are uniform in ``[1, max_scan_length]``.
+    max_scan_length: int = 100
 
 
 def load_phase(
@@ -72,43 +90,76 @@ def load_phase(
 def run_phase(
     spec: WorkloadSpec, rng: random.Random
 ) -> Iterator[Operation]:
-    """The measured phase: the op mix over the loaded records."""
+    """The measured phase: exactly ``operation_count`` logical ops.
+
+    Read-modify-write is budgeted as **one** logical op — it is emitted
+    as a single ``"rmw"`` tuple whose executor performs the get + put
+    pair — so every workload's stream length equals the requested
+    operation count (a prior version emitted the pair inline, making
+    workload F overshoot by ~25%).
+    """
     mix = _MIXES.get(spec.workload.lower())
     if mix is None:
         raise ConfigurationError(
             f"unknown workload {spec.workload!r}; known: {sorted(_MIXES)}"
         )
-    read_p, insert_p, update_p, rmw_p = mix
-    if spec.uniform:
-        picker = UniformPicker(spec.record_count)
-    else:
-        picker = ScrambledZipfianPicker(spec.record_count, spec.zipf_theta)
+    read_p, insert_p, update_p, rmw_p, scan_p = mix
+    if spec.max_scan_length < 1:
+        raise ConfigurationError("max_scan_length must be >= 1")
     latest: Optional[LatestPicker] = None
-    next_insert = spec.record_count
-    if insert_p > 0:
+    if spec.workload.lower() in _LATEST_WORKLOADS:
         latest = LatestPicker(spec.record_count, spec.zipf_theta)
+    # Only build the base-distribution picker when some branch consults
+    # it — workload D reads through LatestPicker, so paying the exact
+    # CDF build there would be pure setup waste.
+    needs_picker = (
+        (read_p > 0 and latest is None)
+        or update_p > 0 or rmw_p > 0 or scan_p > 0
+    )
+    picker: Optional[KeyPicker] = None
+    if needs_picker:
+        if spec.uniform:
+            picker = UniformPicker(spec.record_count)
+        else:
+            picker = ScrambledZipfianPicker(
+                spec.record_count, spec.zipf_theta
+            )
+    # Keys [0, record_count + inserted) exist; the insert branch below
+    # is the only place `inserted` (and the latest window) advances, so
+    # the two cannot drift even when insert_p rounds to zero ops.
+    inserted = 0
     for _ in range(spec.operation_count):
         roll = rng.random()
         if roll < read_p:
             if latest is not None:
                 index = latest.pick(rng)
+                # Pin the picker's contract: reads may only name keys
+                # that exist (the window advances solely through the
+                # insert branch below).
+                assert 0 <= index < spec.record_count + inserted, (
+                    f"LatestPicker picked {index}, outside "
+                    f"[0, {spec.record_count + inserted})"
+                )
             else:
                 index = picker.pick(rng)
             yield "get", encode_key(index), b""
         elif roll < read_p + insert_p:
-            yield "put", encode_key(next_insert), make_value(
-                rng, spec.value_size
-            )
-            next_insert += 1
+            index = spec.record_count + inserted
+            inserted += 1
             if latest is not None:
-                latest.insert_count = next_insert
+                latest.record_insert()
+            yield "put", encode_key(index), make_value(rng, spec.value_size)
         elif roll < read_p + insert_p + update_p:
             index = picker.pick(rng)
             yield "put", encode_key(index), make_value(rng, spec.value_size)
-        else:  # read-modify-write: surface as a get followed by a put
+        elif roll < read_p + insert_p + update_p + rmw_p:
+            # One logical op; executors perform the get + put pair.
             index = picker.pick(rng)
-            yield "get", encode_key(index), b""
-            yield "put", encode_key(index), make_value(rng, spec.value_size)
+            yield "rmw", encode_key(index), make_value(rng, spec.value_size)
+        else:  # scan: zipfian start key, uniform length
+            index = picker.pick(rng)
+            length = rng.randrange(1, spec.max_scan_length + 1)
+            yield "scan", encode_key(index), str(length).encode()
 
 
 def full_workload(

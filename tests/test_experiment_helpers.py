@@ -73,12 +73,16 @@ class TestE11Fleet:
         spec = WorkloadSpec(
             workload="a", record_count=100, operation_count=300
         )
-        metrics = e11._run_fleet(
-            "cluster", 1 << 20, nodes=3, spec=spec, seed=3
+        driver_result, per_shard = e11._run_fleet(
+            "cluster", 1 << 20, nodes=3, spec=spec, seed=3, shards=2
         )
-        assert metrics["ids_minted"] > 0
-        assert metrics["id_collisions"] == 0  # 2^20 universe, tiny load
-        assert 0.0 <= metrics["hit_rate"] <= 1.0
+        assert driver_result.operations == 2 * 300
+        assert driver_result.ops_per_second > 0
+        assert len(per_shard) == 2
+        for metrics in per_shard:
+            assert metrics["ids_minted"] > 0
+            assert metrics["id_collisions"] == 0  # 2^20 universe, tiny load
+            assert 0.0 <= metrics["hit_rate"] <= 1.0
 
 
 class TestConfigPlumbing:
