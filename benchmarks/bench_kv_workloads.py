@@ -88,12 +88,20 @@ def test_kv_workload_store(benchmark, workload):
     _record(benchmark, result)
 
 
+@pytest.mark.parametrize("rf", [1, 3], ids=["rf1", "rf3"])
 @pytest.mark.parametrize("workload", WORKLOADS)
-def test_kv_workload_cluster(benchmark, workload):
+def test_kv_workload_cluster(benchmark, workload, rf):
+    """Cluster serving at RF=1 vs RF=3: the replication cost columns.
+
+    The artifact gains an ops/s + p99 row per (workload, RF) pair, so
+    the quorum write/read amplification of replication is measured —
+    and gated — alongside the single-copy numbers.
+    """
     benchmark.extra_info["workload"] = workload
     benchmark.extra_info["target"] = "cluster"
+    benchmark.extra_info["replication_factor"] = rf
     driver = WorkloadDriver(
-        cluster_target_factory(4, _options),
+        cluster_target_factory(4, _options, replication_factor=rf),
         _config(workload),
         collect=flush_and_report,
     )

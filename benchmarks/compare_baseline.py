@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare bench JSON against baselines.
+
+Four PRs of benchmark artifacts used to upload into a void — nothing
+failed CI when a hot path regressed. This script closes the loop for
+the KV serving benchmarks: the bench-smoke job compares the freshly
+produced ``pytest-benchmark`` JSON against the smoke-scale baselines
+committed under ``benchmarks/baselines/`` and goes red when any
+workload row drifts past the thresholds:
+
+* ops/s dropping by more than ``--max-ops-drop`` (default 30%), or
+* p99 latency growing past ``--max-p99-ratio``× (default 2×).
+
+Rows are keyed ``target/workload[/rfN]`` (e.g. ``cluster/a/rf3``) and
+their metrics come from each benchmark's ``extra_info`` — wall-clock
+numbers at smoke scale, which is why the thresholds are generous: the
+gate is meant to catch the 2×-10× "accidentally quadratic" class of
+regression, not 5% noise. **Baselines are only meaningful for the
+machine class they were measured on** (each baseline's ``_meta``
+records its refresh host). If the gate goes red on a PR that touched
+no hot path — or right after a runner-class change — refresh the
+baseline *from the CI artifact* rather than from a dev box: download
+``bench_kv_workloads.json`` from the bench-smoke run's uploaded
+``benchmark-results`` artifact and feed it to ``--refresh``.
+
+Refreshing baselines (one command, after an intentional perf change)::
+
+    python -m pytest benchmarks/bench_kv_workloads.py -q \
+        --benchmark-json=bench-results/bench_kv_workloads.json
+    python benchmarks/compare_baseline.py --refresh \
+        bench-results/bench_kv_workloads.json
+
+(Run with the same env the CI smoke lane uses — see the bench-smoke
+job in ``.github/workflows/ci.yml`` — then commit the baseline file.)
+
+``--validate`` mode checks an artifact is present, parseable, and
+non-empty; the bench loop runs it on every produced JSON so a broken
+benchmark fails the job instead of silently uploading a partial
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+DEFAULT_MAX_OPS_DROP = 0.30
+DEFAULT_MAX_P99_RATIO = 2.0
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+#: Metrics gated per row (drawn from each benchmark's extra_info).
+GATED_METRICS = ("ops_per_second", "p99_us")
+
+Rows = Dict[str, Dict[str, float]]
+
+
+def row_key(extra_info: Dict) -> Optional[str]:
+    """Stable row identity: ``target/workload[/rfN]``."""
+    target = extra_info.get("target")
+    workload = extra_info.get("workload")
+    if target is None or workload is None:
+        return None
+    key = f"{target}/{workload}"
+    rf = extra_info.get("replication_factor")
+    if rf is not None:
+        key += f"/rf{int(rf)}"
+    return key
+
+
+def extract_rows(artifact: Dict) -> Rows:
+    """Pull the gated rows out of a pytest-benchmark JSON payload."""
+    rows: Rows = {}
+    for bench in artifact.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        key = row_key(extra)
+        if key is None or "ops_per_second" not in extra:
+            continue  # e.g. the bit-identity gate records no throughput
+        rows[key] = {
+            metric: float(extra[metric])
+            for metric in GATED_METRICS
+            if metric in extra
+        }
+    return rows
+
+
+def load_rows(path: str) -> Rows:
+    with open(path) as handle:
+        return extract_rows(json.load(handle))
+
+
+def compare(
+    current: Rows,
+    baseline: Rows,
+    max_ops_drop: float = DEFAULT_MAX_OPS_DROP,
+    max_p99_ratio: float = DEFAULT_MAX_P99_RATIO,
+) -> List[str]:
+    """Return the list of gate failures (empty == green).
+
+    Every baseline row must be present and within thresholds. Rows
+    present only in ``current`` (a newly added benchmark) pass — they
+    start being gated once the baseline is refreshed.
+    """
+    failures: List[str] = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        row = current.get(key)
+        if row is None:
+            failures.append(
+                f"{key}: benchmark row missing from results "
+                "(removed or renamed without a baseline refresh?)"
+            )
+            continue
+        base_ops = base.get("ops_per_second", 0.0)
+        if base_ops > 0 and "ops_per_second" in row:
+            floor = base_ops * (1.0 - max_ops_drop)
+            if row["ops_per_second"] < floor:
+                failures.append(
+                    f"{key}: ops/s {row['ops_per_second']:,.0f} is "
+                    f"{1 - row['ops_per_second'] / base_ops:.0%} below "
+                    f"baseline {base_ops:,.0f} "
+                    f"(allowed drop {max_ops_drop:.0%})"
+                )
+        base_p99 = base.get("p99_us", 0.0)
+        if base_p99 > 0 and "p99_us" in row:
+            ceiling = base_p99 * max_p99_ratio
+            if row["p99_us"] > ceiling:
+                failures.append(
+                    f"{key}: p99 {row['p99_us']:.1f}us is "
+                    f"{row['p99_us'] / base_p99:.1f}x baseline "
+                    f"{base_p99:.1f}us (allowed {max_p99_ratio:.1f}x)"
+                )
+    return failures
+
+
+def validate_artifact(path: str) -> List[str]:
+    """Sanity-check one produced bench JSON (missing/empty/partial)."""
+    if not os.path.exists(path):
+        return [f"{path}: artifact missing (benchmark never wrote it)"]
+    if os.path.getsize(path) == 0:
+        return [f"{path}: artifact is empty (benchmark died mid-write?)"]
+    try:
+        with open(path) as handle:
+            artifact = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: artifact is not valid JSON ({exc})"]
+    if not artifact.get("benchmarks"):
+        return [
+            f"{path}: artifact contains no benchmark records "
+            "(collection error or every test skipped)"
+        ]
+    return []
+
+
+def baseline_path_for(results_path: str) -> str:
+    return os.path.join(BASELINE_DIR, os.path.basename(results_path))
+
+
+def refresh(results_path: str, baseline_path: str) -> Rows:
+    rows = load_rows(results_path)
+    if not rows:
+        raise SystemExit(
+            f"{results_path}: no gateable rows (extra_info lacks "
+            "target/workload/ops_per_second) — refusing to write an "
+            "empty baseline"
+        )
+    import platform
+
+    payload = {
+        "_meta": {
+            "source": os.path.basename(results_path),
+            # Wall-clock baselines only transfer within a machine
+            # class; a red gate on an untouched hot path usually means
+            # this host differs from the runner — refresh from the CI
+            # artifact (see module docstring).
+            "refresh_host": platform.platform(),
+            "refresh": (
+                "python benchmarks/compare_baseline.py --refresh "
+                f"bench-results/{os.path.basename(results_path)}"
+            ),
+            "thresholds": {
+                "max_ops_drop": DEFAULT_MAX_OPS_DROP,
+                "max_p99_ratio": DEFAULT_MAX_P99_RATIO,
+            },
+        },
+        "rows": rows,
+    }
+    baseline_dir = os.path.dirname(baseline_path)
+    if baseline_dir:
+        os.makedirs(baseline_dir, exist_ok=True)
+    with open(baseline_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return rows
+
+
+def load_baseline(baseline_path: str) -> Rows:
+    with open(baseline_path) as handle:
+        return json.load(handle)["rows"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark-regression gate for bench-smoke artifacts"
+    )
+    parser.add_argument("results", help="pytest-benchmark JSON to check")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: benchmarks/baselines/<results name>)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite the baseline from these results instead of gating",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="only check the artifact is present/parseable/non-empty",
+    )
+    parser.add_argument(
+        "--max-ops-drop", type=float, default=DEFAULT_MAX_OPS_DROP,
+        help="fail when ops/s drops by more than this fraction",
+    )
+    parser.add_argument(
+        "--max-p99-ratio", type=float, default=DEFAULT_MAX_P99_RATIO,
+        help="fail when p99 exceeds baseline by more than this factor",
+    )
+    args = parser.parse_args(argv)
+
+    problems = validate_artifact(args.results)
+    if problems:
+        for line in problems:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"ok: {args.results} is a well-formed bench artifact")
+        return 0
+
+    baseline_path = args.baseline or baseline_path_for(args.results)
+    if args.refresh:
+        rows = refresh(args.results, baseline_path)
+        print(f"wrote {baseline_path} ({len(rows)} rows)")
+        return 0
+
+    if not os.path.exists(baseline_path):
+        print(
+            f"FAIL {baseline_path}: no committed baseline — run the "
+            "refresh command from the module docstring and commit it",
+            file=sys.stderr,
+        )
+        return 1
+    failures = compare(
+        load_rows(args.results),
+        load_baseline(baseline_path),
+        max_ops_drop=args.max_ops_drop,
+        max_p99_ratio=args.max_p99_ratio,
+    )
+    if failures:
+        print(
+            f"benchmark regression gate: {len(failures)} failure(s) vs "
+            f"{baseline_path}",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        print(
+            "intentional perf change? refresh the baseline (see "
+            "module docstring) and commit it with the PR",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"benchmark regression gate green: {args.results} within "
+        f"thresholds of {baseline_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

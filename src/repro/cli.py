@@ -151,10 +151,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _parse_chaos(args: argparse.Namespace):
+    """Build the ChaosEvent schedule from --kill-at/--recover-at."""
+    from repro.workloads.driver import ChaosEvent
+
+    events = []
+    for action, specs in (
+        ("kill", args.kill_at or []),
+        ("recover", args.recover_at or []),
+    ):
+        for text in specs:
+            at_op, _, node = text.partition(":")
+            try:
+                events.append(
+                    ChaosEvent(
+                        at_op=int(at_op),
+                        action=action,
+                        node=int(node) if node else 0,
+                    )
+                )
+            except ValueError:
+                raise ReproError(
+                    f"--{action}-at wants OP[:NODE] (integers), "
+                    f"got {text!r}"
+                )
+    return tuple(events)
+
+
 def _cmd_kv(args: argparse.Namespace) -> int:
     """Drive a YCSB workload through the WorkloadDriver."""
     import json
 
+    from repro.distributed.cluster import majority
     from repro.kvstore.options import Options
     from repro.workloads.driver import (
         DriverConfig,
@@ -179,10 +207,51 @@ def _cmd_kv(args: argparse.Namespace) -> int:
             id_algorithm=args.algorithm, id_universe=args.id_universe
         )
 
+    chaos = _parse_chaos(args)
+    # The resolved quorums (majority defaults applied) — computed once
+    # and used by the pre-flight check, the JSON echo, and the human
+    # summary, so the three can never drift.
+    read_q = (
+        args.read_quorum
+        if args.read_quorum is not None
+        else majority(args.replication)
+    )
+    write_q = majority(args.replication)
     if args.target == "cluster":
-        factory = cluster_target_factory(args.nodes, options)
+        # Pre-flight the chaos schedule so misconfigurations fail
+        # before the load phase, not 90% into the run.
+        if chaos:
+            for event in chaos:
+                if event.node >= args.nodes:
+                    raise ReproError(
+                        f"chaos event targets node {event.node} but "
+                        f"--nodes is {args.nodes}"
+                    )
+        if any(event.action == "kill" for event in chaos):
+            # With one node dead a quorum op needs RF-1 >= max(R, W)
+            # live replicas on every preference list, which the
+            # defaults only satisfy from RF=3 (W is always the
+            # majority of RF).
+            if args.replication - 1 < max(read_q, write_q):
+                raise ReproError(
+                    f"a --kill-at schedule with --replication "
+                    f"{args.replication} makes quorum loss certain "
+                    f"(RF-1 live replicas < R/W); use --replication 3 "
+                    f"or higher to tolerate a node death"
+                )
+        factory = cluster_target_factory(
+            args.nodes,
+            options,
+            replication_factor=args.replication,
+            read_quorum=args.read_quorum,
+        )
         collect = flush_and_report
     else:
+        if args.replication != 1 or args.read_quorum is not None or chaos:
+            raise ReproError(
+                "--replication/--read-quorum/--kill-at/--recover-at "
+                "need --target cluster"
+            )
         factory = store_target_factory(options)
         collect = None
     config = DriverConfig(
@@ -192,11 +261,33 @@ def _cmd_kv(args: argparse.Namespace) -> int:
         warmup_operations=args.warmup,
         seed=args.seed,
         rebalance_every=args.rebalance_every,
+        chaos=chaos,
     )
     result = WorkloadDriver(factory, config, collect=collect).run()
     if args.json:
         payload = result.to_dict()
+        # The full resolved deployment config rides along so the
+        # uploaded artifact is self-describing and reproducible.
+        payload["config"].update(
+            {
+                "target": args.target,
+                "algorithm": args.algorithm,
+                "id_universe": args.id_universe,
+            }
+        )
         if args.target == "cluster":
+            payload["config"].update(
+                {
+                    "nodes": args.nodes,
+                    "replication_factor": args.replication,
+                    # The *resolved* quorums (majority default
+                    # applied), not the raw flags — the artifact must
+                    # not require re-deriving defaults to be
+                    # reproducible.
+                    "read_quorum": read_q,
+                    "write_quorum": write_q,
+                }
+            )
             payload["cluster"] = [
                 {
                     "corrupt_block_reads": s.collected.corrupt_block_reads,
@@ -204,6 +295,10 @@ def _cmd_kv(args: argparse.Namespace) -> int:
                     "migrations": s.collected.migrations,
                     "cache_hit_rate": s.collected.cache_hit_rate,
                     "id_collisions": s.collected.audit.collision_count,
+                    "dead_nodes": s.collected.dead_nodes,
+                    "hints_outstanding": s.collected.hints_outstanding,
+                    "hints_replayed": s.collected.hints_replayed,
+                    "read_repairs": s.collected.read_repairs,
                 }
                 for s in result.shard_results
             ]
@@ -244,6 +339,21 @@ def _cmd_kv(args: argparse.Namespace) -> int:
             f"  cluster     id collisions={collisions} "
             f"corrupt block reads={corrupt} migrations={migrations}"
         )
+        if args.replication > 1 or chaos:
+            repairs = sum(
+                s.collected.read_repairs for s in result.shard_results
+            )
+            replayed = sum(
+                s.collected.hints_replayed for s in result.shard_results
+            )
+            dead = sum(
+                s.collected.dead_nodes for s in result.shard_results
+            )
+            print(
+                f"  replication RF={args.replication} R={read_q} | "
+                f"read repairs={repairs} hints replayed={replayed} "
+                f"dead nodes={dead}"
+            )
     return 0
 
 
@@ -440,6 +550,27 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument(
         "--rebalance-every", type=int, default=None, metavar="K",
         help="cluster target: migrate SSTs after every K ops",
+    )
+    kv.add_argument(
+        "--replication", type=int, default=1, metavar="RF",
+        help="cluster target: copies per key (writes go to the key's "
+        "RF ring successors)",
+    )
+    kv.add_argument(
+        "--read-quorum", type=int, default=None, metavar="R",
+        help="cluster target: live replicas a read must reach "
+        "(default: majority of RF); stale replicas lose last-write-wins "
+        "and get read-repaired",
+    )
+    kv.add_argument(
+        "--kill-at", action="append", default=None, metavar="OP[:NODE]",
+        help="cluster target: kill node NODE (default 0) at logical op "
+        "tick OP in every shard's fleet; repeatable",
+    )
+    kv.add_argument(
+        "--recover-at", action="append", default=None, metavar="OP[:NODE]",
+        help="cluster target: recover node NODE at tick OP (replays "
+        "hinted handoff); repeatable",
     )
     kv.add_argument("--algorithm", default="cluster", help="file-ID algorithm")
     kv.add_argument("--id-universe", type=int, default=1 << 64)

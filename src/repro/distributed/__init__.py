@@ -1,22 +1,39 @@
-"""Multi-node deployment simulator: migration makes IDs global (§1)."""
+"""Multi-node deployment simulator: migration makes IDs global (§1).
 
-from repro.distributed.cluster import ClusterReport, ClusterSimulator
+Since PR 5 the fleet is replicated and fault-tolerant: consistent-hash
+ring routing with virtual nodes, quorum reads/writes with last-write-
+wins versioning and read-repair, hinted handoff across outages, and a
+fault-injection API (``kill``/``recover``) for chaos experiments.
+"""
+
+from repro.distributed.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    decode_envelope,
+    encode_envelope,
+)
 from repro.distributed.migration import (
     MigrationEvent,
     UniquenessAudit,
     audit_id_uniqueness,
     migrate_coldest_to_warmest,
     migrate_random,
+    migrate_to_ring_owners,
 )
 from repro.distributed.node import Node
+from repro.distributed.ring import HashRing
 
 __all__ = [
     "Node",
+    "HashRing",
     "ClusterSimulator",
     "ClusterReport",
     "MigrationEvent",
     "UniquenessAudit",
     "audit_id_uniqueness",
+    "decode_envelope",
+    "encode_envelope",
     "migrate_coldest_to_warmest",
     "migrate_random",
+    "migrate_to_ring_owners",
 ]

@@ -5,26 +5,101 @@ introduction: ``n`` nodes, each with an uncoordinated ID generator,
 one shared block cache, periodic load-balancing migrations, and an
 auditor that reports both raw ID collisions and the corruption they
 cause on the read path.
+
+Since PR 5 the fleet is a *replicated, fault-tolerant* serving system:
+
+* **Routing** — a consistent-hash ring with virtual nodes
+  (:class:`~repro.distributed.ring.HashRing`) replaces the old static
+  ``crc32(key) % n`` routing. ``routing="modulo"`` keeps the legacy
+  behaviour as a back-compat shim (single-copy only); see the README
+  migration note.
+* **Replication** — every write goes to the key's ``replication_factor``
+  preference-list nodes; a write is acknowledged once ``write_quorum``
+  live replicas accepted it (default: majority of RF).
+* **Quorum reads** — ``get`` consults ``read_quorum`` live replicas
+  (default: majority), resolves divergence by last-write-wins
+  versioning (a per-cluster logical clock stamped into each stored
+  *envelope*), and read-repairs any stale/missing contacted replica.
+* **Fault injection** — :meth:`kill` makes a node unreachable (state
+  preserved: an outage, not a disk wipe); writes it misses are queued
+  as *hints* and replayed on :meth:`recover` (hinted handoff).
+* **Scans** — the scatter-gather merge is replica-divergence-aware:
+  per-key winners are chosen by envelope version, so stale migrated
+  copies and dead replicas never surface old rows or resurrect
+  deletes.
+
+Envelope format: cluster-managed rows are stored in each node's
+MiniRocks as ``MAGIC | version:8 (big-endian) | flag | payload``;
+``flag`` distinguishes values from cluster-level tombstones (deletes
+are versioned writes, so LWW applies to them too). Rows written
+directly to a node (bypassing the cluster) decode as version ``-1``
+legacy values and lose to any cluster-managed copy.
 """
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.distributed.migration import (
     MigrationEvent,
     UniquenessAudit,
     audit_id_uniqueness,
     migrate_coldest_to_warmest,
+    migrate_to_ring_owners,
 )
 from repro.distributed.node import Node
-from repro.errors import ConfigurationError
+from repro.distributed.ring import HashRing
+from repro.errors import ClusterUnavailableError, ConfigurationError
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.memtable import TOMBSTONE
 from repro.kvstore.options import Options
 from repro.simulation.seeds import rng_for
+
+#: First byte of every cluster-managed envelope.
+_ENVELOPE_MAGIC = 0xE4
+_FLAG_VALUE = 0
+_FLAG_TOMBSTONE = 1
+#: Version reported for rows that predate envelopes (direct node
+#: writes); they lose LWW to any cluster-managed copy.
+_LEGACY_VERSION = -1
+
+
+def encode_envelope(version: int, flag: int, payload: bytes) -> bytes:
+    """Pack one cluster-managed row."""
+    return (
+        bytes((_ENVELOPE_MAGIC,))
+        + version.to_bytes(8, "big")
+        + bytes((flag,))
+        + payload
+    )
+
+
+def decode_envelope(stored: bytes) -> Tuple[int, int, bytes]:
+    """Unpack ``(version, flag, payload)``; legacy raw rows come back
+    as ``(_LEGACY_VERSION, _FLAG_VALUE, stored)``.
+
+    This is the *syntactic* decode. Cluster read paths go through
+    ``ClusterSimulator._decode``, which additionally rejects versions
+    beyond the cluster's logical clock — a raw row that merely starts
+    with the magic byte (1 in 256 of random values) would otherwise
+    parse as an astronomically-versioned envelope and win LWW forever.
+    """
+    if len(stored) >= 10 and stored[0] == _ENVELOPE_MAGIC:
+        return (
+            int.from_bytes(stored[1:9], "big"),
+            stored[9],
+            stored[10:],
+        )
+    return _LEGACY_VERSION, _FLAG_VALUE, stored
+
+
+def majority(replication_factor: int) -> int:
+    """The default quorum: a majority of RF (``R + W > RF`` holds when
+    both sides use it, so reads see every acknowledged write)."""
+    return replication_factor // 2 + 1
 
 
 @dataclass
@@ -38,6 +113,14 @@ class ClusterReport:
     corrupt_results: int
     cache_cross_file_hits: int
     cache_hit_rate: float
+    #: Fault-tolerance counters (all zero on an RF=1, no-chaos run).
+    dead_nodes: int = 0
+    hints_outstanding: int = 0
+    hints_replayed: int = 0
+    read_repairs: int = 0
+    #: Quorum reads that missed every contacted replica and had to
+    #: widen the search (stranded copies after load-policy migration).
+    read_escalations: int = 0
 
     @property
     def corrupted(self) -> bool:
@@ -59,6 +142,19 @@ class ClusterSimulator:
         Capacity of the shared block cache.
     seed:
         Root seed; node ``i`` derives its own RNG.
+    replication_factor:
+        Copies per key (``RF``): writes go to the key's first RF
+        ring successors.
+    read_quorum / write_quorum:
+        Replicas a read/write must reach (``R``/``W``); default is a
+        majority of RF. ``R + W > RF`` makes reads see every
+        acknowledged write even through a single-node outage.
+    routing:
+        ``"ring"`` (consistent hashing with virtual nodes — the
+        default) or ``"modulo"`` (the legacy ``crc32 % n`` shim,
+        single-copy only).
+    vnodes:
+        Virtual nodes per member on the ring.
     """
 
     def __init__(
@@ -67,11 +163,47 @@ class ClusterSimulator:
         options_factory: Callable[[], Options],
         cache_blocks: int = 8192,
         seed: int = 0,
+        replication_factor: int = 1,
+        read_quorum: Optional[int] = None,
+        write_quorum: Optional[int] = None,
+        routing: str = "ring",
+        vnodes: int = 64,
     ):
         if num_nodes < 1:
             raise ConfigurationError("need >= 1 node")
+        if routing not in ("ring", "modulo"):
+            raise ConfigurationError(
+                f"unknown routing {routing!r}; use 'ring' or 'modulo'"
+            )
+        if not 1 <= replication_factor <= num_nodes:
+            raise ConfigurationError(
+                f"replication_factor must be in [1, {num_nodes}]"
+            )
+        if routing == "modulo" and replication_factor != 1:
+            raise ConfigurationError(
+                "modulo routing is a single-copy back-compat shim; "
+                "replication needs routing='ring'"
+            )
+        default_quorum = majority(replication_factor)
+        self.replication_factor = replication_factor
+        self.read_quorum = (
+            default_quorum if read_quorum is None else read_quorum
+        )
+        self.write_quorum = (
+            default_quorum if write_quorum is None else write_quorum
+        )
+        for label, quorum in (
+            ("read_quorum", self.read_quorum),
+            ("write_quorum", self.write_quorum),
+        ):
+            if not 1 <= quorum <= replication_factor:
+                raise ConfigurationError(
+                    f"{label} must be in [1, replication_factor]"
+                )
         self.cache = BlockCache(cache_blocks)
         self.seed = seed
+        self.routing = routing
+        self._options_factory = options_factory
         self.nodes: List[Node] = [
             Node(
                 name=f"node{i}",
@@ -81,69 +213,202 @@ class ClusterSimulator:
             )
             for i in range(num_nodes)
         ]
+        self._by_name: Dict[str, Node] = {
+            node.name: node for node in self.nodes
+        }
+        self.ring: Optional[HashRing] = (
+            HashRing([node.name for node in self.nodes], vnodes=vnodes)
+            if routing == "ring"
+            else None
+        )
         self.migration_events: List[MigrationEvent] = []
+        #: (action, node name, operation count at the time) — the
+        #: chaos audit trail.
+        self.fault_events: List[Tuple[str, str, int]] = []
+        #: Writes addressed to dead replicas: node name -> {key: latest
+        #: envelope}. Coalesced per key at enqueue time — under LWW
+        #: only the newest missed version matters, so a long outage
+        #: over a hot Zipfian keyset queues O(distinct keys), not
+        #: O(missed writes), and replay does one put per key.
+        self._hints: Dict[str, Dict[bytes, bytes]] = {}
         self._operations = 0
+        self._clock = 0
+        self.read_repairs = 0
+        self.read_escalations = 0
+        self.hints_replayed = 0
 
     # -- routing -----------------------------------------------------------
 
-    def node_for_key(self, key: bytes) -> Node:
-        """Static hash routing of keys to nodes.
+    def _next_version(self) -> int:
+        self._clock += 1
+        return self._clock
 
-        Uses CRC32 rather than the builtin ``hash``, whose per-process
-        salting (``PYTHONHASHSEED``) would make routing — and therefore
-        every simulated collision — unreproducible across runs.
+    def _decode(self, stored: bytes) -> Tuple[int, int, bytes]:
+        """Decode with a structural sanity bound: this cluster never
+        issued a version beyond its logical clock, so anything higher
+        is a raw row that happens to start with the magic byte — treat
+        it as legacy (version −1) rather than letting a forged header
+        win LWW forever. (A direct node write that mimics the header
+        *within* the clock range remains indistinguishable; cluster-
+        managed data should be written through the cluster.)"""
+        version, flag, payload = decode_envelope(stored)
+        if version > self._clock:
+            return _LEGACY_VERSION, _FLAG_VALUE, stored
+        return version, flag, payload
+
+    def preference_nodes(self, key: bytes) -> List[Node]:
+        """The key's replica set, primary first (alive or not)."""
+        if self.ring is None:
+            return [self.nodes[zlib.crc32(key) % len(self.nodes)]]
+        return [
+            self._by_name[name]
+            for name in self.ring.preference_list(
+                key, self.replication_factor
+            )
+        ]
+
+    def node_for_key(self, key: bytes) -> Node:
+        """Back-compat shim: the key's *primary* owner.
+
+        Pre-ring code used this for single-copy routing; it now
+        returns the first node on the ring preference list (or the
+        ``crc32 % n`` node under ``routing="modulo"``), regardless of
+        aliveness. Replicated reads/writes go through the quorum paths
+        instead.
         """
-        return self.nodes[zlib.crc32(key) % len(self.nodes)]
+        return self.preference_nodes(key)[0]
+
+    def live_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.alive]
+
+    # -- replicated data path ----------------------------------------------
+
+    def _quorum_write(self, key: bytes, envelope: bytes) -> None:
+        replicas = self.preference_nodes(key)
+        acked = 0
+        for node in replicas:
+            if node.alive:
+                node.put(key, envelope)
+                acked += 1
+            else:
+                self._hints.setdefault(node.name, {})[key] = envelope
+        if acked < self.write_quorum:
+            raise ClusterUnavailableError(
+                f"write to {key!r} reached {acked} live replica(s); "
+                f"write_quorum={self.write_quorum}"
+            )
 
     def put(self, key: bytes, value: bytes) -> None:
-        self.node_for_key(key).put(key, value)
         self._operations += 1
+        self._quorum_write(
+            key, encode_envelope(self._next_version(), _FLAG_VALUE, value)
+        )
+
+    def delete(self, key: bytes) -> None:
+        """Delete = a versioned cluster-level tombstone write.
+
+        Stored as a regular envelope row (not a MiniRocks tombstone)
+        so LWW ordering applies to deletes exactly as to values — a
+        delete can beat a stale replica's older value and vice versa.
+        """
+        self._operations += 1
+        self._quorum_write(
+            key,
+            encode_envelope(self._next_version(), _FLAG_TOMBSTONE, b""),
+        )
 
     def get(self, key: bytes) -> Optional[bytes]:
         self._operations += 1
-        return self.node_for_key(key).get(key)
-
-    def delete(self, key: bytes) -> None:
-        self.node_for_key(key).delete(key)
-        self._operations += 1
+        replicas = self.preference_nodes(key)
+        live = [node for node in replicas if node.alive]
+        if len(live) < self.read_quorum:
+            raise ClusterUnavailableError(
+                f"read of {key!r} has {len(live)} live replica(s); "
+                f"read_quorum={self.read_quorum}"
+            )
+        contacted = live[: self.read_quorum]
+        responses = []
+        best = None  # (version, flag, payload, envelope)
+        for node in contacted:
+            stored = node.get(key)
+            decoded = None
+            if stored is not None:
+                version, flag, payload = self._decode(stored)
+                decoded = (version, flag, payload, stored)
+                if best is None or version > best[0]:
+                    best = decoded
+            responses.append((node, decoded))
+        if best is None:
+            # Every contacted replica came up empty. Before answering
+            # "missing", escalate: first the rest of the preference
+            # list, then the whole live fleet — load-policy SST
+            # migration can strand a key's only copies on nodes a
+            # quorum read would never consult. A hit found this way is
+            # read-repaired onto the quorum replicas, so escalation
+            # self-heals placement instead of recurring per read.
+            for node in itertools.chain(
+                live[self.read_quorum:],
+                (
+                    other
+                    for other in self.nodes
+                    if other.alive and other not in replicas
+                ),
+            ):
+                stored = node.get(key)
+                if stored is not None:
+                    version, flag, payload = self._decode(stored)
+                    if best is None or version > best[0]:
+                        best = (version, flag, payload, stored)
+            if best is None:
+                return None
+            self.read_escalations += 1
+        # Read-repair: bring every contacted stale/missing replica up
+        # to the winning version before answering.
+        for node, decoded in responses:
+            if decoded is None or decoded[0] < best[0]:
+                node.put(key, best[3])
+                self.read_repairs += 1
+        return None if best[1] == _FLAG_TOMBSTONE else best[2]
 
     def scan(
         self, start: bytes, end: Optional[bytes] = None,
         limit: Optional[int] = None,
     ) -> List[tuple]:
-        """Scatter-gather range scan: every node, one winner per key.
+        """Scatter-gather range scan: every live node, one winner per key.
 
-        Keys are hash-routed, so a contiguous key range spans all
-        nodes. After SST migrations a key can surface on several
-        nodes; the routed owner's row — tombstones included, so
-        deletions aren't resurrected by stale copies — is
-        authoritative (it sees every write since the move), with
-        migrated copies only filling in for keys the owner no longer
-        holds at all.
+        A contiguous key range spans all nodes (keys are hash-routed),
+        and after replication, SST migrations, and node churn a key
+        can surface on several nodes at different versions. The merge
+        is replica-divergence-aware: per key, the highest envelope
+        version wins — so stale migrated copies lose to the owner's
+        later writes and cluster-level tombstones keep deletions dead.
+        Dead nodes are skipped; with ``replication_factor`` > 1 the
+        surviving replicas cover their ranges (an RF=1 scan through an
+        outage is best-effort and simply misses the dead node's keys).
 
         With a ``limit``, per-node windows are only trusted up to the
         smallest key at which any node's window was cut (the
         *frontier*): beyond it a node might still hold an unseen
-        authoritative row or tombstone. If the frontier cuts the
-        result short, the coordinator retries with doubled per-node
-        windows — the pagination loop a production scatter-gather
-        coordinator runs.
+        winning row or tombstone. If the frontier cuts the result
+        short, the coordinator retries with doubled per-node windows —
+        the pagination loop a production scatter-gather coordinator
+        runs.
         """
         self._operations += 1
         if limit is None:
             merged, _ = self._merge_node_scans(start, end, None)
             return [
-                (key, value)
-                for key, value in sorted(merged.items())
-                if value != TOMBSTONE
+                (key, payload)
+                for key, (_version, flag, payload) in sorted(merged.items())
+                if flag != _FLAG_TOMBSTONE
             ]
         per_node = limit
         while True:
             merged, frontier = self._merge_node_scans(start, end, per_node)
             rows = [
-                (key, value)
-                for key, value in sorted(merged.items())
-                if value != TOMBSTONE
+                (key, payload)
+                for key, (_version, flag, payload) in sorted(merged.items())
+                if flag != _FLAG_TOMBSTONE
                 and (frontier is None or key <= frontier)
             ]
             if frontier is None or len(rows) >= limit:
@@ -153,19 +418,25 @@ class ClusterSimulator:
     def _merge_node_scans(
         self, start: bytes, end: Optional[bytes], per_node: Optional[int]
     ):
-        """One scatter-gather round with owner-wins merge semantics.
+        """One scatter-gather round with LWW merge semantics.
 
         Returns ``(merged, frontier)``: ``merged`` maps each key to
-        its winning value (tombstones included), ``frontier`` is the
-        largest key up to which **every** node's contribution is
-        complete (None when no node's window was cut).
+        its winning decoded ``(version, flag, payload)`` (cluster
+        tombstones included), ``frontier`` is the largest key up to
+        which **every** live node's contribution is complete (None
+        when no node's window was cut).
         """
-        merged: Dict[bytes, bytes] = {}
+        merged: Dict[bytes, Tuple[int, int, bytes]] = {}
         frontier: Optional[bytes] = None
         # Ask for one extra live row so a full window is
         # distinguishable from an exactly-exhausted node.
         request = None if per_node is None else per_node + 1
         for node in self.nodes:
+            if not node.alive:
+                continue
+            # include_tombstones: a *node-level* MiniRocks tombstone
+            # (legacy direct delete) must reach the merge, or a stale
+            # migrated copy would resurrect the key.
             rows = node.scan(start, end, request, include_tombstones=True)
             if request is not None:
                 live = sum(1 for _, v in rows if v != TOMBSTONE)
@@ -173,26 +444,203 @@ class ClusterSimulator:
                     last_key = rows[-1][0]
                     if frontier is None or last_key < frontier:
                         frontier = last_key
-            for key, value in rows:
-                if self.node_for_key(key) is node:
-                    merged[key] = value  # the owner always wins
-                elif key not in merged:
-                    merged[key] = value
+            for key, stored in rows:
+                if stored == TOMBSTONE:
+                    decoded = (_LEGACY_VERSION, _FLAG_TOMBSTONE, b"")
+                else:
+                    decoded = self._decode(stored)
+                current = merged.get(key)
+                # LWW by version; the seed's owner-wins rule survives
+                # as the tie-break for *legacy* rows only (direct node
+                # writes, all version −1). Enveloped ties are skipped
+                # on purpose: equal versions mean the same cluster
+                # write, so the copies are byte-identical and a ring
+                # lookup per tie would only slow replicated scans.
+                if (
+                    current is None
+                    or decoded[0] > current[0]
+                    or (
+                        decoded[0] == current[0]
+                        and decoded[0] == _LEGACY_VERSION
+                        and self.node_for_key(key) is node
+                    )
+                ):
+                    merged[key] = decoded
         return merged, frontier
+
+    # -- fault injection ----------------------------------------------------
+
+    def _resolve(self, node: Union[Node, str, int]) -> Node:
+        if isinstance(node, Node):
+            return node
+        if isinstance(node, int):
+            if not 0 <= node < len(self.nodes):
+                raise ConfigurationError(
+                    f"node index {node} out of range"
+                )
+            return self.nodes[node]
+        found = self._by_name.get(node)
+        if found is None:
+            raise ConfigurationError(f"unknown node {node!r}")
+        return found
+
+    def kill(self, node: Union[Node, str, int]) -> Node:
+        """Make ``node`` unreachable (an outage, not a disk wipe).
+
+        Its state is preserved; quorum reads/writes, scans, and the
+        balancer skip it, and writes it misses queue as hints.
+        """
+        target = self._resolve(node)
+        if not target.alive:
+            raise ConfigurationError(f"{target.name} is already dead")
+        target.alive = False
+        self.fault_events.append(("kill", target.name, self._operations))
+        return target
+
+    def recover(
+        self, node: Union[Node, str, int], replay_hints: bool = True
+    ) -> int:
+        """Bring a dead node back; replay its hinted-handoff queue.
+
+        The queue holds one latest envelope per key (coalesced at
+        enqueue time) and replays with an LWW guard (a hint never
+        overwrites a newer local row), so replay is idempotent and
+        safe after repeated kill/recover cycles. Pass
+        ``replay_hints=False`` to model lost hints (the queue is
+        discarded) — the node then serves stale data until read-repair
+        or :meth:`repair_replicas` converges it. Returns the number of
+        hints applied.
+        """
+        target = self._resolve(node)
+        if target.alive:
+            raise ConfigurationError(f"{target.name} is already alive")
+        target.alive = True
+        hints = self._hints.pop(target.name, {})
+        applied = 0
+        if replay_hints:
+            for key, envelope in hints.items():
+                current = target.get(key)
+                if (
+                    current is None
+                    or self._decode(current)[0]
+                    < decode_envelope(envelope)[0]
+                ):
+                    target.put(key, envelope)
+                    applied += 1
+            self.hints_replayed += applied
+        self.fault_events.append(
+            ("recover", target.name, self._operations)
+        )
+        return applied
+
+    def hints_outstanding(self) -> int:
+        """Distinct keys still queued for dead replicas."""
+        return sum(len(queue) for queue in self._hints.values())
 
     # -- cluster operations --------------------------------------------------
 
-    def rebalance(self, max_moves: int = 1) -> List[MigrationEvent]:
-        """Run the load balancer once."""
-        events = migrate_coldest_to_warmest(
-            self.nodes, rng_for(self.seed, 0xB417, len(self.migration_events)),
-            max_moves=max_moves,
-        )
+    def rebalance(
+        self, max_moves: int = 1, policy: Optional[str] = None
+    ) -> List[MigrationEvent]:
+        """Run the balancer once.
+
+        ``policy="load"`` moves files from the most- to the
+        least-loaded live node (the seed behaviour);
+        ``policy="ring"`` moves misplaced SSTs toward their key
+        range's preference-list owners. The default is ``"load"`` for
+        single-copy fleets and ``"ring"`` for replicated ring
+        clusters: load-chasing migration can strand a replica's SST on
+        a node outside the key's preference list, where quorum reads
+        no longer look first — placement-preserving maintenance is the
+        only safe default once RF > 1 (reads that do miss every
+        contacted replica escalate and self-heal, see :meth:`get`, but
+        that is the recovery path, not the plan). With fewer than two
+        live nodes the balancer stands down (returns ``[]``) — outages
+        must not turn routine maintenance into a crash.
+        """
+        if policy is None:
+            policy = (
+                "ring"
+                if self.ring is not None and self.replication_factor > 1
+                else "load"
+            )
+        live = self.live_nodes()
+        if len(live) < 2:
+            return []
+        rng = rng_for(self.seed, 0xB417, len(self.migration_events))
+        if policy == "ring":
+            events = migrate_to_ring_owners(
+                live, self.preference_nodes, rng, max_moves=max_moves
+            )
+        elif policy == "load":
+            events = migrate_coldest_to_warmest(
+                live, rng, max_moves=max_moves
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown rebalance policy {policy!r}"
+            )
         self.migration_events.extend(events)
         return events
 
+    def repair_replicas(self) -> int:
+        """Full anti-entropy sweep; returns the number of copies fixed.
+
+        Scatter-gathers every live node's rows, picks the LWW winner
+        per key, and writes it to any *live* preference-list replica
+        that is missing it or holds an older version. This is the
+        convergence pass a real system runs after membership changes
+        (see :meth:`add_node`) or lost hints; dead nodes catch up via
+        hinted handoff / read-repair after they return.
+        """
+        merged, _ = self._merge_node_scans(b"", None, None)
+        repaired = 0
+        for key, (version, flag, payload) in merged.items():
+            if version == _LEGACY_VERSION:
+                continue  # direct node writes are not cluster-managed
+            envelope = encode_envelope(version, flag, payload)
+            for node in self.preference_nodes(key):
+                if not node.alive:
+                    continue
+                current = node.get(key)
+                if (
+                    current is None
+                    or self._decode(current)[0] < version
+                ):
+                    node.put(key, envelope)
+                    repaired += 1
+        return repaired
+
+    def add_node(self, name: Optional[str] = None) -> Node:
+        """Join a fresh node to the ring and re-converge replicas.
+
+        The new member claims ~``1/(n+1)`` of the key space (ring
+        stability); :meth:`repair_replicas` then copies the rows whose
+        preference lists now include it. Requires ``routing="ring"``.
+        """
+        if self.ring is None:
+            raise ConfigurationError(
+                "add_node requires routing='ring' (the modulo shim "
+                "remaps nearly every key on membership change)"
+            )
+        index = len(self.nodes)
+        node = Node(
+            name=name or f"node{index}",
+            options=self._options_factory(),
+            cache=self.cache,
+            rng=rng_for(self.seed, index),
+        )
+        if node.name in self._by_name:
+            raise ConfigurationError(f"duplicate node name {node.name!r}")
+        self.nodes.append(node)
+        self._by_name[node.name] = node
+        self.ring.add_node(node.name)
+        self.repair_replicas()
+        return node
+
     def flush_all(self) -> None:
-        """Flush every node's memtable."""
+        """Flush every node's memtable (dead nodes included — their
+        buffered writes still mint file IDs for the audit)."""
         for node in self.nodes:
             node.db.flush()
 
@@ -210,7 +658,8 @@ class ClusterSimulator:
         executor :func:`repro.workloads.driver.execute_op`. With
         ``rebalance_every=k`` the balancer runs after every k logical
         ops — interleaving migrations with traffic, as production
-        does.
+        does. For chaos schedules (kill/recover at fixed op ticks) use
+        the :class:`~repro.workloads.driver.WorkloadDriver`.
         """
         # Deferred import: workloads.driver imports this module.
         from repro.workloads.driver import execute_op
@@ -220,7 +669,7 @@ class ClusterSimulator:
             if (
                 rebalance_every is not None
                 and index % rebalance_every == 0
-                and len(self.nodes) >= 2
+                and len(self.live_nodes()) >= 2
             ):
                 self.rebalance(max_moves=moves_per_rebalance)
 
@@ -241,6 +690,11 @@ class ClusterSimulator:
             ),
             cache_cross_file_hits=self.cache.stats.cross_file_hits,
             cache_hit_rate=self.cache.stats.hit_rate,
+            dead_nodes=sum(1 for node in self.nodes if not node.alive),
+            hints_outstanding=self.hints_outstanding(),
+            hints_replayed=self.hints_replayed,
+            read_repairs=self.read_repairs,
+            read_escalations=self.read_escalations,
         )
 
     def total_files_assigned(self) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.distributed.node import Node
 from repro.errors import ConfigurationError
@@ -86,6 +86,65 @@ def migrate_random(
                 fingerprint=sst.fingerprint,
                 source=donor.name,
                 destination=receiver.name,
+                level=level,
+            )
+        )
+    return events
+
+
+def migrate_to_ring_owners(
+    nodes: Sequence[Node],
+    owners_of: Callable[[bytes], Sequence[Node]],
+    rng: random.Random,
+    max_moves: int = 1,
+) -> List[MigrationEvent]:
+    """Ring-aware rebalance: move SSTs back to their keys' replica set.
+
+    After ring membership changes (or load-balancing churn) a file can
+    sit on a node that is no longer in its key range's preference
+    list. This policy scans every live node's live files — L0
+    included, because migrated files usually land there via the
+    overlap fallback — and judges each by its ``min_key``: if the
+    holder is not among ``owners_of(min_key)`` (typically
+    ``ClusterSimulator.preference_nodes``), the file is *misplaced*
+    and is moved to the first live owner. Up to ``max_moves`` files
+    move per call, chosen by ``rng`` for parity with the other
+    policies; the policy reaches a fixed point once every file sits
+    with one of its owners. Placement here is correctness-driven
+    (serve reads where routing looks), unlike
+    :func:`migrate_coldest_to_warmest`, which chases load.
+    """
+    if len(nodes) < 2:
+        raise ConfigurationError("migration needs >= 2 nodes")
+    # One fleet scan: moving a file to one of its owners can never
+    # make another file misplaced (ownership is a pure function of
+    # min_key), so the list only shrinks as moves pop from it.
+    misplaced = []
+    for node in nodes:
+        if not node.alive:
+            continue
+        for level, sst in node.db.manifest.live_files():
+            owners = owners_of(sst.min_key)
+            if node in owners:
+                continue
+            destination = next(
+                (owner for owner in owners if owner.alive), None
+            )
+            if destination is not None:
+                misplaced.append((node, destination, level, sst))
+    events: List[MigrationEvent] = []
+    for _ in range(min(max_moves, len(misplaced))):
+        donor, destination, level, sst = misplaced.pop(
+            rng.randrange(len(misplaced))
+        )
+        donor.export_file(level, sst)
+        destination.import_file(level, sst)
+        events.append(
+            MigrationEvent(
+                file_id=sst.file_id,
+                fingerprint=sst.fingerprint,
+                source=donor.name,
+                destination=destination.name,
                 level=level,
             )
         )

@@ -33,6 +33,12 @@ class Node:
         self.db = MiniRocks(options=options, cache=cache, rng=rng, name=name)
         #: Files received from other nodes (kept for audits).
         self.received_files: List[int] = []
+        #: Fault-injection state: a dead node is unreachable (skipped
+        #: by quorum reads/writes, scans, and the balancer) but keeps
+        #: its on-"disk" state — kill models a process/network outage,
+        #: not a disk wipe. Toggled by ``ClusterSimulator.kill`` /
+        #: ``recover``.
+        self.alive: bool = True
 
     # -- data path ----------------------------------------------------------
 
@@ -92,4 +98,5 @@ class Node:
         return self.db.manifest.total_entries()
 
     def __repr__(self) -> str:
-        return f"Node({self.name!r}, load={self.load()})"
+        state = "" if self.alive else ", dead"
+        return f"Node({self.name!r}, load={self.load()}{state})"

@@ -45,3 +45,14 @@ class KVStoreError(ReproError):
 
 class CorruptionDetectedError(KVStoreError):
     """A read returned bytes from the wrong SST due to an ID collision."""
+
+
+class ClusterUnavailableError(KVStoreError):
+    """Too few live replicas to satisfy a quorum read or write.
+
+    Raised by :class:`~repro.distributed.cluster.ClusterSimulator` when
+    fewer than ``write_quorum`` (for writes) or ``read_quorum`` (for
+    reads) of a key's preference-list replicas are alive. The operation
+    was *not* acknowledged; for writes, hinted handoff may still
+    propagate the data to dead replicas on recovery.
+    """

@@ -75,8 +75,15 @@ def _run_fleet(
         rebalance_every=250,
         moves_per_rebalance=2,
     )
+    # Single-copy fleets (RF=1) on ring routing: the experiment
+    # measures *uncoordinated ID minting*, and replication would
+    # multiply every flush (and its minted ID) by RF, changing the
+    # collision arithmetic the checks encode. Fault-tolerance
+    # scenarios live in the chaos test lane instead.
     driver = WorkloadDriver(
-        cluster_target_factory(nodes, options, cache_blocks=4096),
+        cluster_target_factory(
+            nodes, options, cache_blocks=4096, replication_factor=1
+        ),
         config,
         collect=flush_and_report,
     )
@@ -106,7 +113,11 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         operation_count=2500 if config.quick else 9000,
         value_size=24,
     )
-    repeats = 3 if config.quick else 8
+    # 5 quick repeats, not 3: ring routing (PR 5) redistributes keys
+    # across nodes, and at p~0.85 a 3-sample estimate of "runs with a
+    # collision" fails the 0.5-tolerance check ~6% of the time — 5
+    # samples push that below 1%.
+    repeats = 5 if config.quick else 8
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,

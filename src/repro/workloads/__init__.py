@@ -20,6 +20,7 @@ from repro.workloads.distributions import (
     make_zipfian,
 )
 from repro.workloads.driver import (
+    ChaosEvent,
     DriverConfig,
     DriverResult,
     LatencyHistogram,
@@ -53,6 +54,7 @@ __all__ = [
     "load_phase",
     "run_phase",
     "full_workload",
+    "ChaosEvent",
     "DriverConfig",
     "DriverResult",
     "LatencyHistogram",

@@ -27,7 +27,7 @@ import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.distributed.cluster import ClusterSimulator
 from repro.errors import ConfigurationError
@@ -130,6 +130,38 @@ class LatencyHistogram:
 
 
 @dataclass(frozen=True)
+class ChaosEvent:
+    """One fault-injection action on a shard's cluster target.
+
+    ``at_op`` is a **logical op tick**: the 1-based count of executed
+    logical ops across the shard's load, warmup, and measured phases —
+    the same counter that drives ``rebalance_every``. Because the tick
+    stream is a pure function of ``(seed, shard)``, a chaos schedule
+    preserves the driver's determinism contract: op streams and
+    per-op outcome fingerprints stay bit-identical at any ``workers=``
+    count for a fixed seed + schedule. Events whose tick exceeds the
+    stream length never fire.
+    """
+
+    at_op: int
+    #: ``"kill"`` or ``"recover"``.
+    action: str
+    #: Node index within the shard's cluster target.
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.at_op < 1:
+            raise ConfigurationError("chaos at_op must be >= 1")
+        if self.action not in ("kill", "recover"):
+            raise ConfigurationError(
+                f"chaos action must be 'kill' or 'recover', "
+                f"got {self.action!r}"
+            )
+        if self.node < 0:
+            raise ConfigurationError("chaos node index must be >= 0")
+
+
+@dataclass(frozen=True)
 class DriverConfig:
     """Policy object for one :class:`WorkloadDriver` run."""
 
@@ -148,6 +180,10 @@ class DriverConfig:
     #: logical ops (load + warmup + measured all count).
     rebalance_every: Optional[int] = None
     moves_per_rebalance: int = 2
+    #: Cluster targets only: kill/recover nodes at fixed logical op
+    #: ticks (applied identically to every shard's own fleet). Stored
+    #: sorted by tick; same-tick events apply in the order given.
+    chaos: Tuple[ChaosEvent, ...] = ()
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -158,6 +194,13 @@ class DriverConfig:
             raise ConfigurationError("warmup_operations must be >= 0")
         if self.rebalance_every is not None and self.rebalance_every < 1:
             raise ConfigurationError("rebalance_every must be >= 1")
+        object.__setattr__(
+            self,
+            "chaos",
+            tuple(
+                sorted(self.chaos, key=lambda event: event.at_op)
+            ),
+        )
 
 
 @dataclass
@@ -256,11 +299,18 @@ class DriverResult:
         return merged
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready summary (the bench artifact schema)."""
+        """JSON-ready summary (the bench artifact schema).
+
+        ``config`` echoes the full resolved run configuration — every
+        spec and driver knob, chaos schedule included — so uploaded
+        artifacts are self-describing: the run can be reproduced from
+        the JSON alone.
+        """
         summary = self.histogram.summary()
+        spec = self.config.spec
         return {
-            "workload": self.config.spec.workload,
-            "record_count": self.config.spec.record_count,
+            "workload": spec.workload,
+            "record_count": spec.record_count,
             "operations": self.operations,
             "shards": self.config.shards,
             "workers": self.config.workers,
@@ -269,6 +319,29 @@ class DriverResult:
             "ops_per_second": self.ops_per_second,
             "fingerprint": self.fingerprint,
             "op_counts": self.op_counts,
+            "config": {
+                "workload": spec.workload,
+                "record_count": spec.record_count,
+                "operation_count": spec.operation_count,
+                "value_size": spec.value_size,
+                "zipf_theta": spec.zipf_theta,
+                "uniform": spec.uniform,
+                "max_scan_length": spec.max_scan_length,
+                "shards": self.config.shards,
+                "workers": self.config.workers,
+                "warmup_operations": self.config.warmup_operations,
+                "seed": self.config.seed,
+                "rebalance_every": self.config.rebalance_every,
+                "moves_per_rebalance": self.config.moves_per_rebalance,
+                "chaos": [
+                    {
+                        "at_op": event.at_op,
+                        "action": event.action,
+                        "node": event.node,
+                    }
+                    for event in self.config.chaos
+                ],
+            },
             **summary,
         }
 
@@ -336,8 +409,17 @@ def cluster_target_factory(
     num_nodes: int,
     options_factory: Callable[[], Options],
     cache_blocks: int = 8192,
+    replication_factor: int = 1,
+    read_quorum: Optional[int] = None,
+    write_quorum: Optional[int] = None,
+    routing: str = "ring",
 ) -> TargetFactory:
-    """Each shard drives a private :class:`ClusterSimulator` fleet."""
+    """Each shard drives a private :class:`ClusterSimulator` fleet.
+
+    ``replication_factor``/``read_quorum``/``write_quorum`` configure
+    quorum replication (defaults: single-copy, majority quorums);
+    ``routing`` selects ring (default) or the legacy modulo shim.
+    """
 
     def factory(shard: int, shard_seed: int) -> ClusterSimulator:
         return ClusterSimulator(
@@ -345,6 +427,10 @@ def cluster_target_factory(
             options_factory,
             cache_blocks=cache_blocks,
             seed=derive_seed(shard_seed, _TARGET_LABEL),
+            replication_factor=replication_factor,
+            read_quorum=read_quorum,
+            write_quorum=write_quorum,
+            routing=routing,
         )
 
     return factory
@@ -395,11 +481,28 @@ class WorkloadDriver:
             and hasattr(target, "rebalance")
             and len(getattr(target, "nodes", ())) >= 2
         )
+        chaos = config.chaos
+        if chaos and not hasattr(target, "kill"):
+            raise ConfigurationError(
+                "chaos schedules need a fault-injectable target "
+                "(a ClusterSimulator); store targets have no kill()"
+            )
         op_index = 0
+        chaos_index = 0
 
         def tick() -> None:
-            nonlocal op_index
+            nonlocal op_index, chaos_index
             op_index += 1
+            while (
+                chaos_index < len(chaos)
+                and chaos[chaos_index].at_op == op_index
+            ):
+                event = chaos[chaos_index]
+                if event.action == "kill":
+                    target.kill(event.node)
+                else:
+                    target.recover(event.node)
+                chaos_index += 1
             if can_rebalance and op_index % rebalance_every == 0:
                 target.rebalance(max_moves=config.moves_per_rebalance)
 

@@ -1,0 +1,185 @@
+"""Gate the gate: the benchmark-regression checker must go red.
+
+Feeds ``benchmarks/compare_baseline.py`` synthetic results with an
+injected 50% ops/s slowdown (and a p99 blow-up) and asserts the gate
+fails — plus the artifact-validation paths the CI bench loop runs on
+every produced JSON.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_MODULE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "compare_baseline.py"
+)
+_spec = importlib.util.spec_from_file_location(
+    "compare_baseline", _MODULE_PATH
+)
+compare_baseline = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_baseline)
+
+
+BASELINE = {
+    "store/a": {"ops_per_second": 100_000.0, "p99_us": 50.0},
+    "cluster/a/rf1": {"ops_per_second": 60_000.0, "p99_us": 80.0},
+    "cluster/a/rf3": {"ops_per_second": 30_000.0, "p99_us": 160.0},
+}
+
+
+def _scaled(rows, ops_factor=1.0, p99_factor=1.0):
+    return {
+        key: {
+            "ops_per_second": row["ops_per_second"] * ops_factor,
+            "p99_us": row["p99_us"] * p99_factor,
+        }
+        for key, row in rows.items()
+    }
+
+
+class TestCompare:
+    def test_identical_results_pass(self):
+        assert compare_baseline.compare(BASELINE, BASELINE) == []
+
+    def test_injected_50_percent_slowdown_goes_red(self):
+        # The acceptance check from the issue: halve every workload's
+        # throughput and the gate must fail (threshold: 30% drop).
+        failures = compare_baseline.compare(
+            _scaled(BASELINE, ops_factor=0.5), BASELINE
+        )
+        assert len(failures) == len(BASELINE)
+        assert all("ops/s" in failure for failure in failures)
+
+    def test_drift_within_thresholds_passes(self):
+        current = _scaled(BASELINE, ops_factor=0.75, p99_factor=1.8)
+        assert compare_baseline.compare(current, BASELINE) == []
+
+    def test_p99_blowup_goes_red(self):
+        failures = compare_baseline.compare(
+            _scaled(BASELINE, p99_factor=2.5), BASELINE
+        )
+        assert len(failures) == len(BASELINE)
+        assert all("p99" in failure for failure in failures)
+
+    def test_improvements_pass(self):
+        current = _scaled(BASELINE, ops_factor=3.0, p99_factor=0.2)
+        assert compare_baseline.compare(current, BASELINE) == []
+
+    def test_missing_row_goes_red_and_new_row_passes(self):
+        current = dict(_scaled(BASELINE))
+        del current["cluster/a/rf3"]
+        current["cluster/e/rf3"] = {
+            "ops_per_second": 1.0, "p99_us": 10_000.0
+        }  # not in baseline: ungated until a refresh
+        failures = compare_baseline.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "cluster/a/rf3" in failures[0]
+
+    def test_custom_thresholds(self):
+        current = _scaled(BASELINE, ops_factor=0.85)
+        assert compare_baseline.compare(current, BASELINE) == []
+        assert compare_baseline.compare(
+            current, BASELINE, max_ops_drop=0.10
+        )
+
+
+class TestArtifactPlumbing:
+    def _artifact(self, rows):
+        return {
+            "benchmarks": [
+                {
+                    "name": f"test[{key}]",
+                    "extra_info": {
+                        "target": key.split("/")[0],
+                        "workload": key.split("/")[1],
+                        **(
+                            {"replication_factor": int(key.split("/")[2][2:])}
+                            if key.count("/") == 2
+                            else {}
+                        ),
+                        **row,
+                    },
+                }
+                for key, row in rows.items()
+            ]
+        }
+
+    def test_extract_rows_roundtrip(self):
+        artifact = self._artifact(BASELINE)
+        # A no-throughput row (the bit-identity gate) is skipped.
+        artifact["benchmarks"].append(
+            {"name": "determinism", "extra_info": {"fingerprint": 7}}
+        )
+        assert compare_baseline.extract_rows(artifact) == BASELINE
+
+    def test_validate_artifact_failures(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        assert compare_baseline.validate_artifact(missing)
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert compare_baseline.validate_artifact(str(empty))
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert compare_baseline.validate_artifact(str(garbage))
+        hollow = tmp_path / "hollow.json"
+        hollow.write_text(json.dumps({"benchmarks": []}))
+        assert compare_baseline.validate_artifact(str(hollow))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(self._artifact(BASELINE)))
+        assert compare_baseline.validate_artifact(str(good)) == []
+
+    def test_main_end_to_end_refresh_then_red_on_slowdown(self, tmp_path):
+        results = tmp_path / "bench_kv_workloads.json"
+        results.write_text(json.dumps(self._artifact(BASELINE)))
+        baseline = tmp_path / "baseline.json"
+        assert (
+            compare_baseline.main(
+                [str(results), "--refresh", "--baseline", str(baseline)]
+            )
+            == 0
+        )
+        assert compare_baseline.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 0
+        slowed = tmp_path / "slowed.json"
+        slowed.write_text(
+            json.dumps(self._artifact(_scaled(BASELINE, ops_factor=0.5)))
+        )
+        assert compare_baseline.main(
+            [str(slowed), "--baseline", str(baseline)]
+        ) == 1
+        assert compare_baseline.main([str(slowed), "--validate"]) == 0
+
+    def test_missing_baseline_is_red(self, tmp_path):
+        results = tmp_path / "r.json"
+        results.write_text(json.dumps(self._artifact(BASELINE)))
+        assert compare_baseline.main(
+            [str(results), "--baseline", str(tmp_path / "absent.json")]
+        ) == 1
+
+    def test_committed_baseline_matches_bench_row_schema(self):
+        # The real committed baseline must stay loadable and keyed the
+        # way bench_kv_workloads.py emits rows.
+        path = os.path.join(
+            os.path.dirname(_MODULE_PATH),
+            "baselines",
+            "bench_kv_workloads.json",
+        )
+        rows = compare_baseline.load_baseline(path)
+        for workload in "abcdef":
+            assert f"store/{workload}" in rows
+            assert f"cluster/{workload}/rf1" in rows
+            assert f"cluster/{workload}/rf3" in rows
+        for row in rows.values():
+            assert row["ops_per_second"] > 0
+            assert row["p99_us"] > 0
+
+
+@pytest.mark.parametrize("fraction", [0.5])
+def test_gate_red_on_injected_slowdown_summary(fraction):
+    """Single-line restatement of the acceptance criterion."""
+    assert compare_baseline.compare(
+        _scaled(BASELINE, ops_factor=fraction), BASELINE
+    )
