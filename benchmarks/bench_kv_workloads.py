@@ -5,7 +5,11 @@ workload mix against both targets — a single MiniRocks store and a
 ClusterSimulator fleet — and records throughput plus p50/p95/p99 op
 latency in the benchmark JSON (``extra_info``), so the CI bench-smoke
 artifact carries the full workload × target serving matrix alongside
-the Monte-Carlo engines artifact.
+the Monte-Carlo engines artifact. Since PR 6 the matrix gains
+``target="network"`` rows: the same driver pointed at a real
+``uuidp serve`` asyncio RPC server over loopback, so the in-process
+vs network serving overhead (syscalls + framing + socket hops) is a
+measured, regression-gated column, not folklore.
 
 ``REPRO_BENCH_SCALE`` scales record/op counts (the CI smoke lane sets
 it well below 1); ``REPRO_BENCH_KV_SHARDS``/``REPRO_BENCH_KV_WORKERS``
@@ -111,6 +115,41 @@ def test_kv_workload_cluster(benchmark, workload, rf):
     )
     report = result.shard_results[0].collected
     benchmark.extra_info["cache_hit_rate"] = report.cache_hit_rate
+    _record(benchmark, result)
+
+
+@pytest.mark.parametrize("workload", ["a", "c"])
+def test_kv_workload_network(benchmark, workload):
+    """Network serving over loopback: the RPC-boundary cost columns.
+
+    Workloads A (update-heavy) and C (read-only) bracket the mix
+    space; comparing their rows against the ``target="store"`` rows
+    above prices the serving stack itself — same driver, same seeds,
+    same (bit-identical) op streams, plus a real socket per shard.
+    """
+    from repro.distributed.rpc import (
+        ServerThread,
+        network_flush_and_report,
+        network_target_factory,
+    )
+
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["target"] = "network"
+    with ServerThread(store_target_factory(_options)) as handle:
+        host, port = handle.address
+
+        def run():
+            return WorkloadDriver(
+                network_target_factory(host, port),
+                _config(workload),
+                collect=network_flush_and_report,
+            ).run()
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.operations == (
+        result.config.shards * result.config.spec.operation_count
+    )
+    assert not result.op_errors, result.op_errors
     _record(benchmark, result)
 
 

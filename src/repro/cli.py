@@ -13,8 +13,13 @@ Subcommands
 ``experiment``
     Run one experiment (or ``all``) and print its markdown table.
 ``kv``
-    Drive a YCSB workload (A–F) against a MiniRocks store or a
-    simulated cluster; report ops/s and p50/p95/p99 latency.
+    Drive a YCSB workload (A–F) against a MiniRocks store, a simulated
+    cluster, or a remote ``uuidp serve`` instance (``--target network
+    --addr HOST:PORT``); report ops/s and p50/p95/p99 latency.
+``serve``
+    Expose a store or cluster over the asyncio RPC protocol so ``kv``
+    (and anything speaking :mod:`repro.distributed.protocol`) can
+    drive it over real sockets.
 ``report``
     Run the full suite and write EXPERIMENTS-style markdown to a file.
 """
@@ -178,11 +183,26 @@ def _parse_chaos(args: argparse.Namespace):
     return tuple(events)
 
 
+def _parse_addr(text: str):
+    """Split ``HOST:PORT`` (IPv6 hosts use the last colon)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ReproError(f"--addr wants HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(f"--addr port must be an integer, got {port!r}")
+
+
 def _cmd_kv(args: argparse.Namespace) -> int:
     """Drive a YCSB workload through the WorkloadDriver."""
     import json
 
     from repro.distributed.cluster import majority
+    from repro.distributed.rpc import (
+        network_flush_and_report,
+        network_target_factory,
+    )
     from repro.kvstore.options import Options
     from repro.workloads.driver import (
         DriverConfig,
@@ -190,6 +210,7 @@ def _cmd_kv(args: argparse.Namespace) -> int:
         cluster_target_factory,
         flush_and_report,
         store_target_factory,
+        validate_chaos_schedule,
     )
     from repro.workloads.ycsb import WorkloadSpec
 
@@ -208,6 +229,11 @@ def _cmd_kv(args: argparse.Namespace) -> int:
         )
 
     chaos = _parse_chaos(args)
+    # Pre-flight the schedule's internal consistency (a recover at or
+    # before its kill tick would silently no-op or crash mid-run) for
+    # every fault-injectable target, before any load phase runs.
+    if chaos:
+        validate_chaos_schedule(chaos)
     # The resolved quorums (majority defaults applied) — computed once
     # and used by the pre-flight check, the JSON echo, and the human
     # summary, so the three can never drift.
@@ -246,11 +272,33 @@ def _cmd_kv(args: argparse.Namespace) -> int:
             read_quorum=args.read_quorum,
         )
         collect = flush_and_report
+    elif args.target == "network":
+        if args.addr is None:
+            raise ReproError("--target network needs --addr HOST:PORT")
+        if args.replication != 1 or args.read_quorum is not None:
+            raise ReproError(
+                "--replication/--read-quorum configure the deployment; "
+                "with --target network they belong on the `uuidp "
+                "serve` command line, not the client"
+            )
+        if args.rebalance_every is not None:
+            raise ReproError(
+                "--rebalance-every is not supported over --target "
+                "network (the balancer runs inside the server)"
+            )
+        host, port = _parse_addr(args.addr)
+        # Chaos schedules ARE supported: kill/recover travel as RPC
+        # admin ops to the connection's server-side target. Node
+        # bounds are checked by the server (it owns --nodes).
+        factory = network_target_factory(
+            host, port, timeout=args.op_timeout
+        )
+        collect = network_flush_and_report
     else:
         if args.replication != 1 or args.read_quorum is not None or chaos:
             raise ReproError(
                 "--replication/--read-quorum/--kill-at/--recover-at "
-                "need --target cluster"
+                "need --target cluster or network"
             )
         factory = store_target_factory(options)
         collect = None
@@ -302,6 +350,16 @@ def _cmd_kv(args: argparse.Namespace) -> int:
                 }
                 for s in result.shard_results
             ]
+        elif args.target == "network":
+            payload["config"].update(
+                {"addr": args.addr, "op_timeout": args.op_timeout}
+            )
+            # Per-shard server-side reports (dicts straight off the
+            # REPORT RPC; cluster- or store-shaped depending on what
+            # the server wraps).
+            payload["server"] = [
+                s.collected for s in result.shard_results
+            ]
         print(json.dumps(payload, indent=2))
         return 0
     summary = result.histogram.summary()
@@ -324,7 +382,38 @@ def _cmd_kv(args: argparse.Namespace) -> int:
         f"{op}={count}" for op, count in sorted(result.op_counts.items())
     )
     print(f"  op mix      {mix}")
+    if result.op_errors:
+        errors = " ".join(
+            f"{op}={count}"
+            for op, count in sorted(result.op_errors.items())
+        )
+        print(
+            f"  op errors   {errors} "
+            f"(timeouts={result.timeouts}; failed ops hash a fixed "
+            "marker into the fingerprint)"
+        )
     print(f"  fingerprint {result.fingerprint:#010x} (bit-identical at any --workers)")
+    if args.target == "network":
+        report = result.shard_results[0].collected or {}
+        if report.get("kind") == "cluster":
+            collisions = sum(
+                s.collected.get("id_collisions", 0)
+                for s in result.shard_results
+            )
+            dead = sum(
+                s.collected.get("dead_nodes", 0)
+                for s in result.shard_results
+            )
+            replayed = sum(
+                s.collected.get("hints_replayed", 0)
+                for s in result.shard_results
+            )
+            print(
+                f"  server      cluster-backed | id collisions={collisions} "
+                f"dead nodes={dead} hints replayed={replayed}"
+            )
+        else:
+            print(f"  server      {report.get('kind', 'unknown')}-backed")
     if args.target == "cluster":
         collisions = sum(
             s.collected.audit.collision_count for s in result.shard_results
@@ -354,6 +443,68 @@ def _cmd_kv(args: argparse.Namespace) -> int:
                 f"read repairs={repairs} hints replayed={replayed} "
                 f"dead nodes={dead}"
             )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a store or cluster behind the asyncio RPC protocol."""
+    import asyncio
+
+    from repro.distributed.rpc import RPCServer
+    from repro.kvstore.options import Options
+    from repro.workloads.driver import (
+        cluster_target_factory,
+        store_target_factory,
+    )
+
+    def options() -> Options:
+        return Options(
+            id_algorithm=args.algorithm, id_universe=args.id_universe
+        )
+
+    if args.target == "cluster":
+        factory = cluster_target_factory(
+            args.nodes,
+            options,
+            replication_factor=args.replication,
+            read_quorum=args.read_quorum,
+        )
+        deployment = (
+            f"cluster, nodes={args.nodes} rf={args.replication}"
+        )
+    else:
+        if args.replication != 1 or args.read_quorum is not None:
+            raise ReproError(
+                "--replication/--read-quorum need --target cluster"
+            )
+        factory = store_target_factory(options)
+        deployment = "store"
+    server = RPCServer(
+        factory,
+        max_frame=args.max_frame,
+        executor_workers=args.executor_threads,
+        write_buffer_high=args.write_buffer,
+    )
+
+    async def _serve() -> None:
+        await server.start(args.host, args.port)
+        host, port = server.address
+        # One parseable line; scripts (and the e2e test) wait for it
+        # to learn the bound port when --port 0 picked an ephemeral one.
+        print(
+            f"uuidp serve: listening on {host}:{port} "
+            f"(target={deployment}, algorithm={args.algorithm})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("uuidp serve: shut down")
     return 0
 
 
@@ -531,7 +682,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", default="b", choices=list("abcdef"),
         help="YCSB mix (E is 95%% scan / 5%% insert)",
     )
-    kv.add_argument("--target", choices=["store", "cluster"], default="store")
+    kv.add_argument(
+        "--target", choices=["store", "cluster", "network"], default="store",
+        help="'network' drives a running `uuidp serve` over --addr",
+    )
+    kv.add_argument(
+        "--addr", default=None, metavar="HOST:PORT",
+        help="network target: the `uuidp serve` address to drive",
+    )
+    kv.add_argument(
+        "--op-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="network target: per-op RPC timeout; a timed-out op counts "
+        "as a failed (unacknowledged) op, not a crash",
+    )
     kv.add_argument("--records", type=int, default=1000)
     kv.add_argument("--ops", type=int, default=5000, help="measured logical ops per shard")
     kv.add_argument("--warmup", type=int, default=0, help="unmeasured ops per shard")
@@ -577,6 +740,50 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument("--seed", type=int, default=0)
     kv.add_argument("--json", action="store_true", help="emit the bench JSON schema")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a store or cluster over the asyncio RPC protocol",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7417,
+        help="TCP port (0 picks an ephemeral one; the bound port is "
+        "printed on the 'listening' line)",
+    )
+    serve.add_argument(
+        "--target", choices=["store", "cluster"], default="cluster",
+        help="what each client shard attaches to: a private MiniRocks "
+        "or a private ClusterSimulator fleet",
+    )
+    serve.add_argument("--nodes", type=int, default=4, help="cluster target: fleet size")
+    serve.add_argument(
+        "--replication", type=int, default=1, metavar="RF",
+        help="cluster target: copies per key",
+    )
+    serve.add_argument(
+        "--read-quorum", type=int, default=None, metavar="R",
+        help="cluster target: live replicas a read must reach "
+        "(default: majority of RF)",
+    )
+    serve.add_argument("--algorithm", default="cluster", help="file-ID algorithm")
+    serve.add_argument("--id-universe", type=int, default=1 << 64)
+    serve.add_argument(
+        "--max-frame", type=int, default=1 << 20,
+        help="frame-size cap in bytes; larger length prefixes close "
+        "the offending connection before any allocation",
+    )
+    serve.add_argument(
+        "--write-buffer", type=int, default=64 * 1024,
+        help="per-connection response buffer high-water mark in bytes "
+        "(the slow-client bound: past it the server stops reading that "
+        "connection until the client drains)",
+    )
+    serve.add_argument(
+        "--executor-threads", type=int, default=4,
+        help="storage-op thread pool size (per-connection ops stay "
+        "strictly ordered regardless)",
+    )
+
     compare = sub.add_parser(
         "compare", help="side-by-side safety table for a deployment"
     )
@@ -610,6 +817,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
     "kv": _cmd_kv,
+    "serve": _cmd_serve,
     "worst": _cmd_worst,
     "compare": _cmd_compare,
     "report": _cmd_report,

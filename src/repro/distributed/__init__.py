@@ -4,6 +4,9 @@ Since PR 5 the fleet is replicated and fault-tolerant: consistent-hash
 ring routing with virtual nodes, quorum reads/writes with last-write-
 wins versioning and read-repair, hinted handoff across outages, and a
 fault-injection API (``kill``/``recover``) for chaos experiments.
+Since PR 6 it also serves over real sockets: ``uuidp serve`` exposes
+any target behind the framed asyncio RPC layer of
+:mod:`repro.distributed.protocol` / :mod:`repro.distributed.rpc`.
 """
 
 from repro.distributed.cluster import (
@@ -22,13 +25,27 @@ from repro.distributed.migration import (
 )
 from repro.distributed.node import Node
 from repro.distributed.ring import HashRing
+from repro.distributed.rpc import (
+    ClientPool,
+    NetworkTarget,
+    RPCClient,
+    RPCServer,
+    ServerThread,
+    network_flush_and_report,
+    network_target_factory,
+)
 
 __all__ = [
     "Node",
     "HashRing",
     "ClusterSimulator",
     "ClusterReport",
+    "ClientPool",
     "MigrationEvent",
+    "NetworkTarget",
+    "RPCClient",
+    "RPCServer",
+    "ServerThread",
     "UniquenessAudit",
     "audit_id_uniqueness",
     "decode_envelope",
@@ -36,4 +53,6 @@ __all__ = [
     "migrate_coldest_to_warmest",
     "migrate_random",
     "migrate_to_ring_owners",
+    "network_flush_and_report",
+    "network_target_factory",
 ]

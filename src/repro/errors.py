@@ -56,3 +56,44 @@ class ClusterUnavailableError(KVStoreError):
     was *not* acknowledged; for writes, hinted handoff may still
     propagate the data to dead replicas on recovery.
     """
+
+
+class RPCError(KVStoreError):
+    """Base class for the ``repro.distributed.rpc`` network layer.
+
+    Covers failures of the serving path itself (framing, transport,
+    server-side execution) as opposed to quorum unavailability, which
+    keeps its own :class:`ClusterUnavailableError` family.
+    """
+
+
+class RPCProtocolError(RPCError):
+    """A peer violated the framed wire protocol.
+
+    Truncated frames, length prefixes beyond the frame-size cap,
+    unknown op codes, malformed payloads, or data ops before an
+    attach. The server answers with a protocol-error status where it
+    still can and then closes *that* connection; other connections are
+    unaffected.
+    """
+
+
+class RPCConnectionError(ClusterUnavailableError):
+    """The RPC connection could not be established or died mid-call.
+
+    A :class:`ClusterUnavailableError`: from the client's perspective a
+    dead server and a lost quorum look the same — the op was not
+    acknowledged.
+    """
+
+
+class RPCTimeoutError(ClusterUnavailableError):
+    """An RPC op exceeded its configured timeout.
+
+    Timeouts-as-failures: the op may or may not have executed
+    server-side; the client treats it as unacknowledged, and the
+    workload driver counts it in ``DriverResult.timeouts``. Timeouts
+    are latency-dependent, so a run that suffers any is **not**
+    fingerprint-comparable to a clean run (see the determinism-contract
+    caveat in the README's "Network serving" section).
+    """

@@ -30,7 +30,11 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.distributed.cluster import ClusterSimulator
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ClusterUnavailableError,
+    ConfigurationError,
+    RPCTimeoutError,
+)
 from repro.kvstore.db import MiniRocks
 from repro.kvstore.options import Options
 from repro.simulation.seeds import derive_seed
@@ -41,6 +45,15 @@ from repro.workloads.ycsb import WorkloadSpec, load_phase, run_phase
 _SHARD_LABEL = 0xD21E
 _STREAM_LABEL = 0x0B5
 _TARGET_LABEL = 0x7A6
+
+#: Outcome digest recorded for an op that failed with a
+#: ``ClusterUnavailableError`` (quorum loss, RPC timeout, dead
+#: connection). A fixed marker keeps the fingerprint deterministic
+#: whenever the *failure itself* is deterministic (e.g. a chaos
+#: schedule that provably breaks quorum); wall-clock-dependent
+#: failures such as timeouts make the run non-comparable and are
+#: reported separately in :attr:`ShardResult.timeouts`.
+FAILED_OP_OUTCOME = b"\xfe"
 
 
 class LatencyHistogram:
@@ -161,6 +174,53 @@ class ChaosEvent:
             raise ConfigurationError("chaos node index must be >= 0")
 
 
+def validate_chaos_schedule(events) -> None:
+    """Reject chaos schedules that cannot play out as written.
+
+    The driver applies events sorted by tick (same-tick events in the
+    order given), so a recover at or before its kill tick would either
+    crash mid-run ("already alive") or — worse — kill-then-recover
+    within one tick and silently no-op the outage the schedule meant to
+    inject. Per node, this walks the schedule in driver order and
+    requires: no kill of an already-dead node, no recover of a node
+    that is alive, and every recover strictly after the kill it undoes.
+    Raises :class:`~repro.errors.ConfigurationError` with the offending
+    pair spelled out; used by the ``uuidp kv`` pre-flight so
+    misconfigurations fail before the load phase, not 90% into a run.
+    """
+    ordered = sorted(events, key=lambda event: event.at_op)
+    last_kill: Dict[int, int] = {}
+    dead: set = set()
+    for event in ordered:
+        if event.action == "kill":
+            if event.node in dead:
+                raise ConfigurationError(
+                    f"chaos schedule kills node {event.node} at op "
+                    f"{event.at_op} but it is already dead (killed at "
+                    f"op {last_kill[event.node]} with no recover in "
+                    "between)"
+                )
+            dead.add(event.node)
+            last_kill[event.node] = event.at_op
+        else:  # recover
+            if event.node not in dead:
+                raise ConfigurationError(
+                    f"chaos schedule recovers node {event.node} at op "
+                    f"{event.at_op} but no earlier kill left it dead "
+                    "(a recover tick at or before its kill tick "
+                    "silently no-ops — recover must come strictly "
+                    "after the kill)"
+                )
+            if event.at_op <= last_kill[event.node]:
+                raise ConfigurationError(
+                    f"chaos schedule recovers node {event.node} at op "
+                    f"{event.at_op}, at or before its kill at op "
+                    f"{last_kill[event.node]} — recover must come "
+                    "strictly after the kill it undoes"
+                )
+            dead.discard(event.node)
+
+
 @dataclass(frozen=True)
 class DriverConfig:
     """Policy object for one :class:`WorkloadDriver` run."""
@@ -225,6 +285,15 @@ class ShardResult:
     #: Whatever the ``collect`` callback returned for this shard's
     #: target (e.g. a ClusterReport), or None.
     collected: Any = None
+    #: Ops (warmup + measured) that failed with a
+    #: ``ClusterUnavailableError``-class error, per op type. Failed
+    #: measured ops still count toward :attr:`operations` and hash the
+    #: :data:`FAILED_OP_OUTCOME` marker into the fingerprint.
+    op_errors: Dict[str, int] = field(default_factory=dict)
+    #: The subset of those failures that were RPC timeouts
+    #: (latency-dependent — a run with any is not
+    #: fingerprint-comparable to a clean run).
+    timeouts: int = 0
 
 
 @dataclass
@@ -298,6 +367,20 @@ class DriverResult:
                 merged[op] = merged.get(op, 0) + count
         return merged
 
+    @property
+    def op_errors(self) -> Dict[str, int]:
+        """Failed ops per op type, across shards (see ShardResult)."""
+        merged: Dict[str, int] = {}
+        for shard in self.shard_results:
+            for op, count in shard.op_errors.items():
+                merged[op] = merged.get(op, 0) + count
+        return merged
+
+    @property
+    def timeouts(self) -> int:
+        """RPC timeouts across shards."""
+        return sum(s.timeouts for s in self.shard_results)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready summary (the bench artifact schema).
 
@@ -319,6 +402,8 @@ class DriverResult:
             "ops_per_second": self.ops_per_second,
             "fingerprint": self.fingerprint,
             "op_counts": self.op_counts,
+            "op_errors": self.op_errors,
+            "timeouts": self.timeouts,
             "config": {
                 "workload": spec.workload,
                 "record_count": spec.record_count,
@@ -359,7 +444,16 @@ def execute_op(target: Any, op: str, key: bytes, value: bytes) -> bytes:
     ``scan`` reads up to ``int(value)`` rows from ``key`` — shared by
     the driver and ``ClusterSimulator.run_workload`` so the two can
     never drift on op semantics.
+
+    A target exposing ``execute(op, key, value)`` (a
+    :class:`~repro.distributed.rpc.NetworkTarget`) receives the whole
+    logical op instead: the remote server runs this very function
+    against its backing store and returns the outcome digest, so
+    composites stay one RPC and fingerprints match the in-process run.
     """
+    remote = getattr(target, "execute", None)
+    if remote is not None:
+        return remote(op, key, value)
     if op == "get":
         result = target.get(key)
         return b"\x00" if result is None else b"\x01" + result
@@ -506,7 +600,30 @@ class WorkloadDriver:
             if can_rebalance and op_index % rebalance_every == 0:
                 target.rebalance(max_moves=config.moves_per_rebalance)
 
-        # Phase 1: bulk load (unmeasured).
+        op_errors: Dict[str, int] = {}
+        timeouts = 0
+
+        def guarded_execute(op: str, key: bytes, value: bytes) -> bytes:
+            """Execute one op, folding unavailability into the result.
+
+            Quorum loss and RPC timeouts are *outcomes* of a serving
+            benchmark, not harness crashes: the op counts, the failure
+            is tallied per op type, and the fingerprint absorbs the
+            fixed :data:`FAILED_OP_OUTCOME` marker (deterministic
+            failures keep fingerprints comparable; timeouts are
+            tracked separately because they are not).
+            """
+            nonlocal timeouts
+            try:
+                return self._execute(target, op, key, value)
+            except ClusterUnavailableError as exc:
+                op_errors[op] = op_errors.get(op, 0) + 1
+                if isinstance(exc, RPCTimeoutError):
+                    timeouts += 1
+                return FAILED_OP_OUTCOME
+
+        # Phase 1: bulk load (unmeasured). Errors propagate — a failed
+        # load means the dataset the measured phase assumes is absent.
         for op, key, value in load_phase(spec, rng):
             self._execute(target, op, key, value)
             tick()
@@ -525,13 +642,13 @@ class WorkloadDriver:
             run_phase(stream_spec, rng)
         ):
             if index < config.warmup_operations:
-                self._execute(target, op, key, value)
+                guarded_execute(op, key, value)
                 tick()
                 continue
             if start_measure is None:
                 start_measure = time.perf_counter()
             began = time.perf_counter_ns()
-            outcome = self._execute(target, op, key, value)
+            outcome = guarded_execute(op, key, value)
             histogram.record(time.perf_counter_ns() - began)
             tick()
             measured += 1
@@ -553,6 +670,8 @@ class WorkloadDriver:
             measure_started=start_measure,
             measure_ended=measure_ended,
             collected=collected,
+            op_errors=op_errors,
+            timeouts=timeouts,
         )
 
     # -- the run ------------------------------------------------------------

@@ -1,0 +1,243 @@
+"""Codec and framing tests for the RPC wire protocol.
+
+Pure in-memory tests (no sockets) — the live-server counterparts,
+including malformed frames against a running ``RPCServer``, live in
+``test_rpc_network.py`` behind the ``network`` marker.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import protocol
+from repro.distributed.protocol import (
+    HEADER_SIZE,
+    OP_TO_CODE,
+    decode_attach,
+    decode_frame,
+    decode_kv,
+    decode_node,
+    encode_attach,
+    encode_frame,
+    encode_kv,
+    encode_node,
+    read_frame,
+)
+from repro.errors import (
+    ClusterUnavailableError,
+    RPCConnectionError,
+    RPCError,
+    RPCProtocolError,
+    RPCTimeoutError,
+)
+
+
+def feed_reader(*chunks: bytes, eof: bool = True) -> asyncio.StreamReader:
+    """A StreamReader pre-loaded with raw bytes."""
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestErrorHierarchy:
+    """The driver's failure accounting leans on these relationships."""
+
+    def test_timeout_and_connect_errors_are_unavailability(self):
+        assert issubclass(RPCTimeoutError, ClusterUnavailableError)
+        assert issubclass(RPCConnectionError, ClusterUnavailableError)
+
+    def test_protocol_error_is_an_rpc_error(self):
+        assert issubclass(RPCProtocolError, RPCError)
+        assert not issubclass(RPCProtocolError, ClusterUnavailableError)
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        frame = encode_frame(7, OP_TO_CODE["put"], b"body bytes")
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - 4 == HEADER_SIZE + len(b"body bytes")
+        assert decode_frame(frame[4:]) == (7, OP_TO_CODE["put"], b"body bytes")
+
+    def test_empty_body_roundtrip(self):
+        frame = encode_frame(2**64 - 1, 0xFF, b"")
+        assert decode_frame(frame[4:]) == (2**64 - 1, 0xFF, b"")
+
+    def test_encode_rejects_out_of_range_fields(self):
+        with pytest.raises(RPCProtocolError):
+            encode_frame(-1, 0, b"")
+        with pytest.raises(RPCProtocolError):
+            encode_frame(2**64, 0, b"")
+        with pytest.raises(RPCProtocolError):
+            encode_frame(0, 256, b"")
+
+    def test_encode_rejects_oversized_body(self):
+        with pytest.raises(RPCProtocolError):
+            encode_frame(1, 0, b"x" * 100, max_frame=64)
+        # Exactly at the cap is fine.
+        encode_frame(1, 0, b"x" * (64 - HEADER_SIZE), max_frame=64)
+
+    def test_decode_rejects_short_frames(self):
+        for size in range(HEADER_SIZE):
+            with pytest.raises(RPCProtocolError):
+                decode_frame(b"\x00" * size)
+
+
+class TestBodyCodecs:
+    def test_kv_roundtrip(self):
+        assert decode_kv(encode_kv(b"key", b"value")) == (b"key", b"value")
+        assert decode_kv(encode_kv(b"", b"")) == (b"", b"")
+
+    def test_kv_truncation_and_trailing_junk(self):
+        body = encode_kv(b"abc", b"defg")
+        with pytest.raises(RPCProtocolError):
+            decode_kv(body[:3])  # inside the key-length prefix
+        with pytest.raises(RPCProtocolError):
+            decode_kv(body[:-1])  # value cut short
+        with pytest.raises(RPCProtocolError):
+            decode_kv(body + b"!")  # trailing junk
+
+    def test_attach_roundtrip_and_size_check(self):
+        assert decode_attach(encode_attach(3, 2**64 - 1)) == (3, 2**64 - 1)
+        with pytest.raises(RPCProtocolError):
+            decode_attach(b"\x00" * 11)
+        with pytest.raises(RPCProtocolError):
+            decode_attach(b"\x00" * 13)
+        with pytest.raises(RPCProtocolError):
+            encode_attach(2**32, 0)
+
+    def test_node_roundtrip_and_size_check(self):
+        assert decode_node(encode_node(4)) == 4
+        with pytest.raises(RPCProtocolError):
+            decode_node(b"\x00" * 3)
+        with pytest.raises(RPCProtocolError):
+            encode_node(-1)
+
+
+class TestReadFrame:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_reads_back_to_back_frames(self):
+        first = encode_frame(1, 0x10, b"a")
+        second = encode_frame(2, 0x11, b"bb")
+
+        async def scenario():
+            reader = feed_reader(first + second)
+            frames = [await read_frame(reader), await read_frame(reader)]
+            assert await read_frame(reader) is None  # clean EOF
+            return frames
+
+        one, two = self.run(scenario())
+        assert decode_frame(one) == (1, 0x10, b"a")
+        assert decode_frame(two) == (2, 0x11, b"bb")
+
+    def test_oversized_length_prefix_rejected_before_body_read(self):
+        # The prefix claims more than max_frame; read_frame must raise
+        # without waiting for (or allocating) the body — the reader
+        # holds only the 4 prefix bytes and is NOT at EOF.
+        huge = (protocol.DEFAULT_MAX_FRAME + 1).to_bytes(4, "big")
+
+        async def scenario():
+            reader = feed_reader(huge, eof=False)
+            with pytest.raises(RPCProtocolError, match="exceeds max frame"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_undersized_length_prefix_rejected(self):
+        async def scenario():
+            reader = feed_reader((HEADER_SIZE - 1).to_bytes(4, "big"))
+            with pytest.raises(RPCProtocolError, match="shorter than"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_disconnect_inside_prefix(self):
+        async def scenario():
+            reader = feed_reader(b"\x00\x00")
+            with pytest.raises(RPCProtocolError, match="length prefix"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+    def test_disconnect_mid_frame(self):
+        frame = encode_frame(9, 0x10, b"payload")
+
+        async def scenario():
+            reader = feed_reader(frame[:-3])
+            with pytest.raises(RPCProtocolError, match="mid-frame"):
+                await read_frame(reader)
+
+        self.run(scenario())
+
+
+class TestFuzz:
+    """Property tests: decoders never raise anything but
+    RPCProtocolError, and roundtrips are lossless."""
+
+    @given(
+        msg_id=st.integers(min_value=0, max_value=2**64 - 1),
+        code=st.integers(min_value=0, max_value=255),
+        body=st.binary(max_size=512),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_frame_roundtrip(self, msg_id, code, body):
+        frame = encode_frame(msg_id, code, body)
+        assert decode_frame(frame[4:]) == (msg_id, code, body)
+
+    @given(key=st.binary(max_size=256), value=st.binary(max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_kv_roundtrip(self, key, value):
+        assert decode_kv(encode_kv(key, value)) == (key, value)
+
+    @given(blob=st.binary(max_size=600))
+    @settings(max_examples=300, deadline=None)
+    def test_decoders_never_crash_on_garbage(self, blob):
+        for decoder in (decode_frame, decode_kv, decode_attach, decode_node):
+            try:
+                decoder(blob)
+            except RPCProtocolError:
+                pass  # the one sanctioned failure mode
+
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_read_frame_never_crashes_on_garbage(self, blob):
+        async def scenario():
+            reader = feed_reader(blob)
+            try:
+                while await read_frame(reader, max_frame=1024) is not None:
+                    pass
+            except RPCProtocolError:
+                pass
+
+        asyncio.run(scenario())
+
+    @given(
+        frames=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**64 - 1),
+                st.integers(min_value=0, max_value=255),
+                st.binary(max_size=64),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_concatenated_frames_reframe_exactly(self, frames):
+        stream = b"".join(encode_frame(m, c, b) for m, c, b in frames)
+
+        async def scenario():
+            reader = feed_reader(stream)
+            out = []
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return out
+                out.append(decode_frame(frame))
+
+        assert asyncio.run(scenario()) == frames

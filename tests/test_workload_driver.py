@@ -4,16 +4,19 @@ import random
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ClusterUnavailableError, ConfigurationError
 from repro.kvstore.db import MiniRocks
 from repro.kvstore.options import Options
 from repro.workloads.driver import (
+    FAILED_OP_OUTCOME,
+    ChaosEvent,
     DriverConfig,
     LatencyHistogram,
     WorkloadDriver,
     cluster_target_factory,
     flush_and_report,
     store_target_factory,
+    validate_chaos_schedule,
 )
 from repro.workloads.ycsb import WorkloadSpec, encode_key
 
@@ -247,6 +250,127 @@ class TestDriverExecution:
             DriverConfig(spec=spec, warmup_operations=-1)
         with pytest.raises(ConfigurationError):
             DriverConfig(spec=spec, rebalance_every=0)
+
+
+class TestChaosScheduleValidation:
+    """The ``uuidp kv`` pre-flight: impossible schedules fail before
+    the load phase, not 90% into a run."""
+
+    def kill(self, at_op, node=0):
+        return ChaosEvent(at_op=at_op, action="kill", node=node)
+
+    def recover(self, at_op, node=0):
+        return ChaosEvent(at_op=at_op, action="recover", node=node)
+
+    def test_valid_schedules_pass(self):
+        validate_chaos_schedule([])
+        validate_chaos_schedule([self.kill(100)])
+        validate_chaos_schedule([self.kill(100), self.recover(200)])
+        validate_chaos_schedule(
+            [self.kill(100), self.recover(200), self.kill(300)]
+        )
+        # Independent nodes don't interfere.
+        validate_chaos_schedule(
+            [self.kill(100, node=0), self.kill(100, node=1),
+             self.recover(150, node=1)]
+        )
+        # Order given doesn't matter; validation walks tick order.
+        validate_chaos_schedule([self.recover(200), self.kill(100)])
+
+    def test_recover_before_kill_rejected(self):
+        with pytest.raises(ConfigurationError, match="recover"):
+            validate_chaos_schedule([self.recover(100)])
+        with pytest.raises(ConfigurationError, match="no earlier kill"):
+            validate_chaos_schedule([self.kill(300), self.recover(200)])
+
+    def test_recover_at_kill_tick_rejected(self):
+        # Same tick would kill-then-recover within one tick and
+        # silently no-op the outage.
+        with pytest.raises(ConfigurationError, match="at or before"):
+            validate_chaos_schedule([self.kill(300), self.recover(300)])
+
+    def test_double_kill_rejected(self):
+        with pytest.raises(ConfigurationError, match="already dead"):
+            validate_chaos_schedule([self.kill(100), self.kill(200)])
+        # ... unless a recover separates them.
+        validate_chaos_schedule(
+            [self.kill(100), self.recover(150), self.kill(200)]
+        )
+
+    def test_other_nodes_unaffected_by_a_kill(self):
+        with pytest.raises(ConfigurationError):
+            validate_chaos_schedule(
+                [self.kill(100, node=0), self.recover(200, node=1)]
+            )
+
+
+class _FlakyStore:
+    """A target whose gets fail with unavailability after a cutoff —
+    for the driver's failed-op accounting."""
+
+    def __init__(self, fail_after):
+        self.fail_after = fail_after
+        self.gets = 0
+        self.state = {}
+
+    def execute(self, op, key, value):
+        if op == "get":
+            self.gets += 1
+            if self.gets > self.fail_after:
+                raise ClusterUnavailableError("quorum lost")
+            return (
+                b"\x01" + self.state[key] if key in self.state else b"\x00"
+            )
+        if op in ("put", "rmw"):
+            self.state[key] = value
+            return b"\x02"
+        raise AssertionError(f"unexpected op {op}")
+
+
+class TestFailedOpAccounting:
+    """Unavailability during the measured phase is an outcome, not a
+    crash: runs complete, counters fill, fingerprints stay pure."""
+
+    def _run(self, fail_after):
+        spec = WorkloadSpec(workload="a", record_count=20, operation_count=60)
+        return WorkloadDriver(
+            lambda shard, seed: _FlakyStore(fail_after),
+            DriverConfig(spec=spec, shards=1, seed=9),
+        ).run()
+
+    def test_errors_counted_and_deterministic(self):
+        result = self._run(fail_after=5)
+        assert result.operations == 60
+        assert result.op_errors.get("get", 0) > 0
+        assert result.timeouts == 0  # unavailability, not timeouts
+        assert sum(result.op_counts.values()) == 60
+        payload = result.to_dict()
+        assert payload["op_errors"] == result.op_errors
+        assert payload["timeouts"] == 0
+        # Same seed, same failure pattern -> same fingerprint; the
+        # failure marker is a fixed byte, not wall-clock dependent.
+        assert result.fingerprint == self._run(5).fingerprint
+        assert result.fingerprint != self._run(10**9).fingerprint
+
+    def test_healthy_runs_report_no_errors(self):
+        result = self._run(fail_after=10**9)
+        assert result.op_errors == {}
+        assert result.timeouts == 0
+        assert FAILED_OP_OUTCOME not in (b"\x00", b"\x01", b"\x02")
+
+    def test_load_phase_failures_still_propagate(self):
+        # The load phase seeds ground truth; a target that cannot even
+        # load is a broken setup, not a measurable outcome.
+        class BrokenStore:
+            def execute(self, op, key, value):
+                raise ClusterUnavailableError("down")
+
+        spec = WorkloadSpec(workload="a", record_count=10, operation_count=10)
+        with pytest.raises(ClusterUnavailableError):
+            WorkloadDriver(
+                lambda shard, seed: BrokenStore(),
+                DriverConfig(spec=spec, shards=1, seed=1),
+            ).run()
 
 
 class TestScanSupport:
