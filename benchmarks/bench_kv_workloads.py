@@ -92,6 +92,51 @@ def test_kv_workload_store(benchmark, workload):
     _record(benchmark, result)
 
 
+@pytest.mark.parametrize("write_mode", ["nosync", "batch", "sync"])
+def test_kv_workload_store_durable(benchmark, write_mode):
+    """Workload A through the durable group-commit WAL, per WriteMode.
+
+    The three rows price the durability spectrum on the update-heavy
+    mix: ``nosync`` (fsync only at flush) ≈ the in-memory row,
+    ``batch`` pays one adaptive group fsync per write group, ``sync``
+    pays one per write. ``fsync_count`` rides along in ``extra_info``
+    so a group-commit regression (syncing per-record under batch)
+    shows up as a counted fact, not just a latency smell.
+    """
+    from repro.kvstore.wal import WriteMode
+
+    benchmark.extra_info["workload"] = "a"
+    benchmark.extra_info["target"] = "store"
+    benchmark.extra_info["write_mode"] = write_mode
+
+    def durable_options() -> Options:
+        return Options(
+            memtable_entries=128,
+            block_entries=16,
+            write_mode=WriteMode(write_mode),
+        )
+
+    driver = WorkloadDriver(
+        store_target_factory(durable_options, durable=True),
+        _config("a"),
+        collect=lambda store: store.stats,
+    )
+    result = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    assert result.operations == (
+        driver.config.shards * driver.config.spec.operation_count
+    )
+    stats = [shard.collected for shard in result.shard_results]
+    fsyncs = sum(s.fsync_count for s in stats)
+    benchmark.extra_info["fsync_count"] = fsyncs
+    benchmark.extra_info["wal_bytes"] = sum(s.wal_bytes for s in stats)
+    if write_mode == "sync":
+        # Every put fsyncs (plus rotations); the floor is the put count.
+        assert fsyncs >= result.op_counts.get("put", 0)
+    elif write_mode == "batch":
+        assert 0 < fsyncs < result.op_counts.get("put", 1)
+    _record(benchmark, result)
+
+
 @pytest.mark.parametrize("rf", [1, 3], ids=["rf1", "rf3"])
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_kv_workload_cluster(benchmark, workload, rf):

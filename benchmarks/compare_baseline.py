@@ -11,7 +11,8 @@ workload row drifts past the thresholds:
 * ops/s dropping by more than ``--max-ops-drop`` (default 30%), or
 * p99 latency growing past ``--max-p99-ratio``× (default 2×).
 
-Rows are keyed ``target/workload[/rfN]`` (e.g. ``cluster/a/rf3``) and
+Rows are keyed ``target/workload[/rfN][/MODE]`` (e.g. ``cluster/a/rf3``
+or ``store/a/sync`` for the durable-WAL write modes) and
 their metrics come from each benchmark's ``extra_info`` — wall-clock
 numbers at smoke scale, which is why the thresholds are generous: the
 gate is meant to catch the 2×-10× "accidentally quadratic" class of
@@ -58,7 +59,12 @@ Rows = Dict[str, Dict[str, float]]
 
 
 def row_key(extra_info: Dict) -> Optional[str]:
-    """Stable row identity: ``target/workload[/rfN]``."""
+    """Stable row identity: ``target/workload[/rfN][/MODE]``.
+
+    The trailing ``MODE`` component is the durable-WAL write mode
+    (``nosync``/``batch``/``sync``); rows without one are the
+    in-memory store.
+    """
     target = extra_info.get("target")
     workload = extra_info.get("workload")
     if target is None or workload is None:
@@ -67,6 +73,9 @@ def row_key(extra_info: Dict) -> Optional[str]:
     rf = extra_info.get("replication_factor")
     if rf is not None:
         key += f"/rf{int(rf)}"
+    mode = extra_info.get("write_mode")
+    if mode is not None:
+        key += f"/{mode}"
     return key
 
 

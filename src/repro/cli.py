@@ -157,9 +157,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _parse_chaos(args: argparse.Namespace):
-    """Build the ChaosEvent schedule from --kill-at/--recover-at."""
+    """Build the ChaosEvent schedule from --kill-at/--recover-at.
+
+    ``--kill-mode crash`` turns every kill into a process crash
+    (memtable dropped, WAL replayed on recover) instead of a clean
+    outage; it needs a durable fleet, i.e. ``--write-mode``.
+    """
     from repro.workloads.driver import ChaosEvent
 
+    kill_mode = getattr(args, "kill_mode", "outage")
     events = []
     for action, specs in (
         ("kill", args.kill_at or []),
@@ -173,6 +179,7 @@ def _parse_chaos(args: argparse.Namespace):
                         at_op=int(at_op),
                         action=action,
                         node=int(node) if node else 0,
+                        mode=kill_mode if action == "kill" else "outage",
                     )
                 )
             except ValueError:
@@ -181,6 +188,15 @@ def _parse_chaos(args: argparse.Namespace):
                     f"got {text!r}"
                 )
     return tuple(events)
+
+
+def _parse_write_mode(text):
+    """Map the ``--write-mode`` flag to a WriteMode, or None (in-memory)."""
+    if text is None:
+        return None
+    from repro.kvstore.wal import WriteMode
+
+    return WriteMode(text)
 
 
 def _parse_addr(text: str):
@@ -223,12 +239,31 @@ def _cmd_kv(args: argparse.Namespace) -> int:
         max_scan_length=args.scan_length,
     )
 
+    write_mode = _parse_write_mode(args.write_mode)
+    durable = write_mode is not None
+
     def options() -> Options:
+        extra = {"write_mode": write_mode} if durable else {}
         return Options(
-            id_algorithm=args.algorithm, id_universe=args.id_universe
+            id_algorithm=args.algorithm,
+            id_universe=args.id_universe,
+            **extra,
         )
 
     chaos = _parse_chaos(args)
+    if args.kill_mode == "crash":
+        if not durable:
+            raise ReproError(
+                "--kill-mode crash drops unsynced state, which needs "
+                "durable simulated storage: add --write-mode "
+                "{nosync,batch,sync}"
+            )
+        if args.target == "network":
+            raise ReproError(
+                "--kill-mode crash needs an in-process durable fleet "
+                "(--target cluster); the network server only supports "
+                "outage kills"
+            )
     # Pre-flight the schedule's internal consistency (a recover at or
     # before its kill tick would silently no-op or crash mid-run) for
     # every fault-injectable target, before any load phase runs.
@@ -270,16 +305,17 @@ def _cmd_kv(args: argparse.Namespace) -> int:
             options,
             replication_factor=args.replication,
             read_quorum=args.read_quorum,
+            durable=durable,
         )
         collect = flush_and_report
     elif args.target == "network":
         if args.addr is None:
             raise ReproError("--target network needs --addr HOST:PORT")
-        if args.replication != 1 or args.read_quorum is not None:
+        if args.replication != 1 or args.read_quorum is not None or durable:
             raise ReproError(
-                "--replication/--read-quorum configure the deployment; "
-                "with --target network they belong on the `uuidp "
-                "serve` command line, not the client"
+                "--replication/--read-quorum/--write-mode configure the "
+                "deployment; with --target network they belong on the "
+                "`uuidp serve` command line, not the client"
             )
         if args.rebalance_every is not None:
             raise ReproError(
@@ -300,7 +336,7 @@ def _cmd_kv(args: argparse.Namespace) -> int:
                 "--replication/--read-quorum/--kill-at/--recover-at "
                 "need --target cluster or network"
             )
-        factory = store_target_factory(options)
+        factory = store_target_factory(options, durable=durable)
         collect = None
     config = DriverConfig(
         spec=spec,
@@ -321,6 +357,9 @@ def _cmd_kv(args: argparse.Namespace) -> int:
                 "target": args.target,
                 "algorithm": args.algorithm,
                 "id_universe": args.id_universe,
+                # "memory" = no durable storage layer (the default);
+                # otherwise the group-commit WriteMode driven.
+                "write_mode": args.write_mode or "memory",
             }
         )
         if args.target == "cluster":
@@ -393,6 +432,11 @@ def _cmd_kv(args: argparse.Namespace) -> int:
             "marker into the fingerprint)"
         )
     print(f"  fingerprint {result.fingerprint:#010x} (bit-identical at any --workers)")
+    if durable:
+        print(
+            f"  durability  write-mode={args.write_mode} "
+            f"(acked writes survive crash-restart; see --kill-mode)"
+        )
     if args.target == "network":
         report = result.shard_results[0].collected or {}
         if report.get("kind") == "cluster":
@@ -457,9 +501,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_target_factory,
     )
 
+    write_mode = _parse_write_mode(args.write_mode)
+    durable = write_mode is not None
+
     def options() -> Options:
+        extra = {"write_mode": write_mode} if durable else {}
         return Options(
-            id_algorithm=args.algorithm, id_universe=args.id_universe
+            id_algorithm=args.algorithm,
+            id_universe=args.id_universe,
+            **extra,
         )
 
     if args.target == "cluster":
@@ -468,6 +518,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             options,
             replication_factor=args.replication,
             read_quorum=args.read_quorum,
+            durable=durable,
         )
         deployment = (
             f"cluster, nodes={args.nodes} rf={args.replication}"
@@ -477,8 +528,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise ReproError(
                 "--replication/--read-quorum need --target cluster"
             )
-        factory = store_target_factory(options)
+        factory = store_target_factory(options, durable=durable)
         deployment = "store"
+    if durable:
+        deployment += f", write-mode={args.write_mode}"
     server = RPCServer(
         factory,
         max_frame=args.max_frame,
@@ -735,6 +788,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster target: recover node NODE at tick OP (replays "
         "hinted handoff); repeatable",
     )
+    kv.add_argument(
+        "--kill-mode", choices=["outage", "crash"], default="outage",
+        help="what --kill-at simulates: a clean outage (state intact, "
+        "default) or a process crash (memtable lost, WAL replayed on "
+        "recovery; needs --write-mode)",
+    )
+    kv.add_argument(
+        "--write-mode", choices=["nosync", "batch", "sync"], default=None,
+        help="run each store on durable simulated storage with this "
+        "group-commit policy (nosync: fsync only at flush; batch: "
+        "adaptive group commit; sync: fsync every write); default is "
+        "the in-memory store",
+    )
     kv.add_argument("--algorithm", default="cluster", help="file-ID algorithm")
     kv.add_argument("--id-universe", type=int, default=1 << 64)
     kv.add_argument("--seed", type=int, default=0)
@@ -764,6 +830,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--read-quorum", type=int, default=None, metavar="R",
         help="cluster target: live replicas a read must reach "
         "(default: majority of RF)",
+    )
+    serve.add_argument(
+        "--write-mode", choices=["nosync", "batch", "sync"], default=None,
+        help="back each served store with durable simulated storage "
+        "under this group-commit policy; default is the in-memory store",
     )
     serve.add_argument("--algorithm", default="cluster", help="file-ID algorithm")
     serve.add_argument("--id-universe", type=int, default=1 << 64)

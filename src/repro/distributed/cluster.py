@@ -56,7 +56,12 @@ from repro.errors import ClusterUnavailableError, ConfigurationError
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.memtable import TOMBSTONE
 from repro.kvstore.options import Options
-from repro.simulation.seeds import rng_for
+from repro.kvstore.storage import SimulatedStorage
+from repro.simulation.seeds import derive_seed, rng_for
+
+#: Seed-path labels for durable-node storage and crash-restart RNGs.
+_STORAGE_LABEL = 0x57A9
+_RESTART_LABEL = 0x9E0B
 
 #: First byte of every cluster-managed envelope.
 _ENVELOPE_MAGIC = 0xE4
@@ -155,6 +160,13 @@ class ClusterSimulator:
         single-copy only).
     vnodes:
         Virtual nodes per member on the ring.
+    durable:
+        Give every node its own fault-injecting
+        :class:`~repro.kvstore.storage.SimulatedStorage` (seeded per
+        node from the cluster seed). Durable fleets run the group-
+        commit WAL data path (``options.write_mode``) and support
+        ``kill(mode="crash")`` — true process death with WAL-replay
+        recovery — in addition to plain outages.
     """
 
     def __init__(
@@ -168,6 +180,7 @@ class ClusterSimulator:
         write_quorum: Optional[int] = None,
         routing: str = "ring",
         vnodes: int = 64,
+        durable: bool = False,
     ):
         if num_nodes < 1:
             raise ConfigurationError("need >= 1 node")
@@ -203,6 +216,9 @@ class ClusterSimulator:
         self.cache = BlockCache(cache_blocks)
         self.seed = seed
         self.routing = routing
+        #: Durable fleets give every node its own fault-injecting
+        #: storage (seeded per node), unlocking ``kill(mode="crash")``.
+        self.durable = durable
         self._options_factory = options_factory
         self.nodes: List[Node] = [
             Node(
@@ -210,6 +226,7 @@ class ClusterSimulator:
                 options=options_factory(),
                 cache=self.cache,
                 rng=rng_for(seed, i),
+                storage=self._make_storage(i),
             )
             for i in range(num_nodes)
         ]
@@ -236,6 +253,13 @@ class ClusterSimulator:
         self.read_repairs = 0
         self.read_escalations = 0
         self.hints_replayed = 0
+
+    def _make_storage(self, index: int) -> Optional[SimulatedStorage]:
+        if not self.durable:
+            return None
+        return SimulatedStorage(
+            seed=derive_seed(self.seed, _STORAGE_LABEL, index)
+        )
 
     # -- routing -----------------------------------------------------------
 
@@ -484,23 +508,53 @@ class ClusterSimulator:
             raise ConfigurationError(f"unknown node {node!r}")
         return found
 
-    def kill(self, node: Union[Node, str, int]) -> Node:
-        """Make ``node`` unreachable (an outage, not a disk wipe).
+    def kill(
+        self, node: Union[Node, str, int], mode: str = "outage"
+    ) -> Node:
+        """Take ``node`` down. Two failure models:
 
-        Its state is preserved; quorum reads/writes, scans, and the
-        balancer skip it, and writes it misses queue as hints.
+        * ``mode="outage"`` (default, the pre-durability behaviour):
+          the node is unreachable but its process state — memtable
+          included — is preserved; it resumes exactly where it was.
+        * ``mode="crash"`` (durable fleets only): process death. The
+          memtable is lost, unsynced storage bytes become a torn tail,
+          and :meth:`recover` must rebuild the store by WAL replay —
+          so only writes that were durable *on that node* survive
+          locally, and the cluster's zero-lost-acked-writes guarantee
+          rests on the quorum, exactly as in production.
+
+        Either way quorum reads/writes, scans, and the balancer skip
+        the node, and writes it misses queue as hints.
         """
+        if mode not in ("outage", "crash"):
+            raise ConfigurationError(
+                f"unknown kill mode {mode!r}; use 'outage' or 'crash'"
+            )
         target = self._resolve(node)
         if not target.alive:
             raise ConfigurationError(f"{target.name} is already dead")
+        if mode == "crash":
+            if target.storage is None:
+                raise ConfigurationError(
+                    "kill(mode='crash') needs a durable cluster "
+                    "(ClusterSimulator(durable=True)); in-memory nodes "
+                    "can only suffer outages"
+                )
+            target.crash()
         target.alive = False
-        self.fault_events.append(("kill", target.name, self._operations))
+        action = "crash" if mode == "crash" else "kill"
+        self.fault_events.append((action, target.name, self._operations))
         return target
 
     def recover(
         self, node: Union[Node, str, int], replay_hints: bool = True
     ) -> int:
         """Bring a dead node back; replay its hinted-handoff queue.
+
+        A *crashed* node first restarts its storage (torn-tail
+        semantics applied) and reopens its store — committed SSTs plus
+        WAL replay, with a deterministically re-seeded ID generator —
+        before hints land on top. An *outage* node simply resumes.
 
         The queue holds one latest envelope per key (coalesced at
         enqueue time) and replays with an LWW guard (a hint never
@@ -514,6 +568,14 @@ class ClusterSimulator:
         target = self._resolve(node)
         if target.alive:
             raise ConfigurationError(f"{target.name} is already alive")
+        if target.storage is not None and target.storage.crashed:
+            index = self.nodes.index(target)
+            target.reopen(
+                rng=rng_for(
+                    self.seed, index, _RESTART_LABEL,
+                    target.storage.restarts,
+                )
+            )
         target.alive = True
         hints = self._hints.pop(target.name, {})
         applied = 0
@@ -629,6 +691,7 @@ class ClusterSimulator:
             options=self._options_factory(),
             cache=self.cache,
             rng=rng_for(self.seed, index),
+            storage=self._make_storage(index),
         )
         if node.name in self._by_name:
             raise ConfigurationError(f"duplicate node name {node.name!r}")

@@ -12,11 +12,12 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
-from repro.errors import KVStoreError
+from repro.errors import ConfigurationError, KVStoreError
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.db import MiniRocks
 from repro.kvstore.options import Options
-from repro.kvstore.sstable import SSTable
+from repro.kvstore.sstable import SSTable, sst_filename
+from repro.kvstore.storage import SimulatedStorage
 
 
 class Node:
@@ -28,9 +29,19 @@ class Node:
         options: Options,
         cache: BlockCache,
         rng: Optional[random.Random] = None,
+        storage: Optional[SimulatedStorage] = None,
     ):
         self.name = name
-        self.db = MiniRocks(options=options, cache=cache, rng=rng, name=name)
+        self.options = options
+        self.cache = cache
+        #: Durable backend (durable clusters only). A node with one can
+        #: die by *crash* — process death that loses the memtable and
+        #: recovers from WAL replay — not just by outage.
+        self.storage = storage
+        self.db = MiniRocks(
+            options=options, cache=cache, rng=rng, name=name,
+            storage=storage,
+        )
         #: Files received from other nodes (kept for audits).
         self.received_files: List[int] = []
         #: Fault-injection state: a dead node is unreachable (skipped
@@ -39,6 +50,47 @@ class Node:
         #: not a disk wipe. Toggled by ``ClusterSimulator.kill`` /
         #: ``recover``.
         self.alive: bool = True
+
+    # -- crash/restart (durable nodes only) ---------------------------------
+
+    def crash(self) -> None:
+        """Kill the process: freeze the storage mid-flight.
+
+        Unsynced WAL/file bytes become vulnerable (a torn tail will
+        replace them at restart) and the memtable is gone — everything
+        the next :meth:`reopen` knows comes from the storage.
+        """
+        if self.storage is None:
+            raise ConfigurationError(
+                f"{self.name} has no durable storage; only outage-style "
+                "kills apply to in-memory nodes"
+            )
+        self.storage.crash()
+
+    def reopen(self, rng: Optional[random.Random] = None) -> MiniRocks:
+        """Crash-restart: apply torn-tail semantics and recover.
+
+        Replaces :attr:`db` with a fresh MiniRocks opened on the
+        restarted storage — committed SSTs + WAL replay reconstruct
+        exactly the durable state. Operational counters
+        (:attr:`MiniRocks.stats`) start over, as they would in a real
+        restarted process; :attr:`received_files` survives (it is the
+        audit trail, not process state).
+        """
+        if self.storage is None:
+            raise ConfigurationError(
+                f"{self.name} has no durable storage to reopen from"
+            )
+        if self.storage.crashed:
+            self.storage.restart()
+        self.db = MiniRocks(
+            options=self.options,
+            cache=self.cache,
+            rng=rng,
+            name=self.name,
+            storage=self.storage,
+        )
+        return self.db
 
     # -- data path ----------------------------------------------------------
 
@@ -75,20 +127,36 @@ class Node:
         return exportable
 
     def export_file(self, level: int, sst: SSTable) -> SSTable:
-        """Detach ``sst`` for migration; it keeps its file ID."""
+        """Detach ``sst`` for migration; it keeps its file ID.
+
+        On a durable node the handoff is committed: the manifest drops
+        the file atomically, then its bytes are removed (the importer
+        holds its own copy).
+        """
         self.db.manifest.detach_file(level, sst)
+        if self.storage is not None:
+            self.db._commit_manifest()
+            name = sst_filename(sst.fingerprint)
+            if self.storage.exists(name):
+                self.storage.delete(name, label="sst-delete")
         return sst
 
     def import_file(self, level: int, sst: SSTable) -> None:
         """Attach a migrated file (ID assigned by the origin node).
 
         L1+ overlap conflicts are resolved by placing at L0, which
-        tolerates overlap (again mirroring ingestion behaviour).
+        tolerates overlap (again mirroring ingestion behaviour). On a
+        durable node the file is persisted before the manifest names
+        it, so a crash mid-migration never commits a dangling entry.
         """
+        if self.storage is not None:
+            self.db._persist_sst(sst, label="migration")
         try:
             self.db.manifest.attach_file(level, sst)
         except KVStoreError:
             self.db.manifest.attach_file(0, sst)
+        if self.storage is not None:
+            self.db._commit_manifest()
         self.received_files.append(sst.file_id)
 
     # -- introspection ---------------------------------------------------------

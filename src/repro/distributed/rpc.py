@@ -621,7 +621,13 @@ class NetworkTarget:
         return self._loop.run(self._client.call(op, key, value))
 
     # Chaos injection through the RPC boundary (driver tick() hooks).
-    def kill(self, node: int) -> None:
+    def kill(self, node: int, mode: str = "outage") -> None:
+        if mode != "outage":
+            raise ConfigurationError(
+                f"network targets only support kill(mode='outage'); "
+                f"crash-restart chaos (mode={mode!r}) needs an "
+                "in-process durable cluster target"
+            )
         self._loop.run(self._client.kill(node))
 
     def recover(self, node: int) -> None:

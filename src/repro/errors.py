@@ -47,6 +47,33 @@ class CorruptionDetectedError(KVStoreError):
     """A read returned bytes from the wrong SST due to an ID collision."""
 
 
+class WALCorruptionError(KVStoreError):
+    """A write-ahead-log record failed validation during recovery.
+
+    A checksum/framing failure at the *tail* of the final live segment
+    is an expected torn write (the crash interrupted an unsynced
+    append) and recovery stops there cleanly. This error is raised for
+    the other case: corruption in the *middle* of the log — a bad
+    record with valid records after it, or a damaged sealed segment —
+    which no crash can produce and which therefore means the storage
+    itself is damaged. Only raised under ``Options.paranoid_checks``;
+    otherwise recovery stops at the corruption and the remainder of
+    the log is dropped (counted, not silent).
+    """
+
+
+class SimulatedCrashError(KVStoreError):
+    """The fault-injecting storage layer hit its planned crash point.
+
+    Raised by :class:`~repro.kvstore.storage.SimulatedStorage` when a
+    planned crash triggers: the op does **not** take effect, the
+    storage freezes, and every subsequent storage op fails until
+    :meth:`~repro.kvstore.storage.SimulatedStorage.restart` applies
+    the crash semantics (synced data survives; the unsynced suffix of
+    each file is replaced by a deterministic torn tail).
+    """
+
+
 class ClusterUnavailableError(KVStoreError):
     """Too few live replicas to satisfy a quorum read or write.
 

@@ -11,11 +11,23 @@ from repro.kvstore.compaction import (
 )
 from repro.kvstore.db import DBStats, MiniRocks
 from repro.kvstore.iterators import LSMIterator, iterate_db, range_count
-from repro.kvstore.manifest import Manifest, VersionEdit
+from repro.kvstore.manifest import MANIFEST_NAME, Manifest, VersionEdit
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.options import Options, generator_factory_from_spec
-from repro.kvstore.sstable import Block, SSTable
-from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.kvstore.sstable import Block, SSTable, sst_filename
+from repro.kvstore.storage import CrashPoint, SimulatedStorage
+from repro.kvstore.wal import (
+    OP_DELETE,
+    OP_PUT,
+    DurableWAL,
+    WALRecovery,
+    WriteAheadLog,
+    WriteMode,
+    encode_record,
+    decode_record_at,
+    read_segments,
+    segment_name,
+)
 
 __all__ = [
     "MiniRocks",
@@ -34,7 +46,18 @@ __all__ = [
     "Block",
     "Manifest",
     "VersionEdit",
+    "MANIFEST_NAME",
+    "sst_filename",
     "WriteAheadLog",
+    "DurableWAL",
+    "WriteMode",
+    "WALRecovery",
+    "encode_record",
+    "decode_record_at",
+    "read_segments",
+    "segment_name",
+    "SimulatedStorage",
+    "CrashPoint",
     "OP_PUT",
     "OP_DELETE",
     "CompactionJob",

@@ -24,11 +24,19 @@ from repro.errors import CorruptionDetectedError, KVStoreError
 from repro.kvstore.blockcache import BlockCache
 from repro.kvstore.compaction import pick_compaction, run_compaction
 from repro.kvstore.iterators import iterate_db
-from repro.kvstore.manifest import Manifest
+from repro.kvstore.manifest import MANIFEST_NAME, Manifest
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.options import Options
-from repro.kvstore.sstable import SSTable
-from repro.kvstore.wal import WriteAheadLog
+from repro.kvstore.sstable import SST_PREFIX, SSTable, sst_filename
+from repro.kvstore.storage import SimulatedStorage
+from repro.kvstore.wal import (
+    OP_PUT,
+    SEGMENT_PREFIX,
+    DurableWAL,
+    WriteAheadLog,
+    read_segments,
+    segment_index,
+)
 
 
 @dataclass
@@ -49,6 +57,11 @@ class DBStats:
     #: Reads whose *returned value* was provably wrong or wrongly
     #: missing because of a cross-file block.
     corrupt_results: int = 0
+    #: WAL fsyncs issued (durable stores only; group commit amortizes
+    #: many writes per fsync under ``WriteMode.BATCH``).
+    fsync_count: int = 0
+    #: Framed bytes appended to the WAL (durable stores only).
+    wal_bytes: int = 0
 
 
 class MiniRocks:
@@ -65,6 +78,15 @@ class MiniRocks:
         Randomness for the ID generator (seed for reproducibility).
     name:
         Label used in repr/audits.
+    storage:
+        Optional fault-injecting durable backend. With one, the store
+        runs the **durable data path**: WAL records go to checksummed
+        segments with group commit per ``options.write_mode``, flush
+        persists the SST and commits the manifest + WAL truncation
+        point atomically (write-then-rename), and construction
+        *recovers* whatever state the storage holds — committed SSTs
+        plus a replay of the live WAL segments. Without one, the store
+        is the original in-memory simulation.
     """
 
     def __init__(
@@ -73,6 +95,7 @@ class MiniRocks:
         cache: Optional[BlockCache] = None,
         rng: Optional[random.Random] = None,
         name: str = "db",
+        storage: Optional[SimulatedStorage] = None,
     ):
         self.options = options if options is not None else Options()
         self.cache = cache if cache is not None else BlockCache(4096)
@@ -81,27 +104,159 @@ class MiniRocks:
         assert self.options.id_generator_factory is not None
         self._id_generator = self.options.id_generator_factory(self._rng)
         self.memtable = MemTable()
-        self.wal = WriteAheadLog() if self.options.use_wal else None
         self.manifest = Manifest(self.options.num_levels)
         self.stats = DBStats()
+        self.storage = storage
+        #: Highest seqno covered by the committed SSTs + manifest
+        #: (durable regardless of WAL sync state).
+        self._flushed_through = 0
+        self._wal_floor = 0
+        if storage is not None:
+            self.wal: Optional[WriteAheadLog] = None
+            self._open_durable()
+        else:
+            self.wal = WriteAheadLog() if self.options.use_wal else None
+
+    @classmethod
+    def open(
+        cls,
+        storage: SimulatedStorage,
+        options: Optional[Options] = None,
+        cache: Optional[BlockCache] = None,
+        rng: Optional[random.Random] = None,
+        name: str = "db",
+    ) -> "MiniRocks":
+        """Open (or create) a durable store on ``storage``.
+
+        Recovery runs inside: the committed manifest names the live
+        SSTs and the WAL floor, live segments are replayed into the
+        memtable (stopping cleanly at a torn tail; raising
+        :class:`~repro.errors.WALCorruptionError` on mid-log damage
+        under ``paranoid_checks``), orphan files from interrupted
+        flushes/compactions are collected, and an oversized recovered
+        memtable flushes immediately.
+        """
+        return cls(
+            options=options, cache=cache, rng=rng, name=name,
+            storage=storage,
+        )
+
+    def _open_durable(self) -> None:
+        """Recover durable state: manifest → SSTs → WAL replay → GC."""
+        storage = self.storage
+        assert storage is not None
+        floor = 0
+        next_seqno = 1
+        live_names = set()
+        if storage.exists(MANIFEST_NAME):
+            state = Manifest.decode_state(storage.read(MANIFEST_NAME))
+            floor = state["wal_floor"]
+            next_seqno = state["next_seqno"]
+            # The manifest lists L0 newest-first, but add_file
+            # *prepends* at L0 — replay oldest-first so the reloaded
+            # age order (and thus read precedence) matches the
+            # original, not its mirror image.
+            for level, file_name in reversed(state["files"]):
+                sst = SSTable.from_bytes(storage.read(file_name))
+                self.manifest.add_file(level, sst, record_id=False)
+                live_names.add(file_name)
+            self.manifest.restore_assigned_ids(state["assigned_ids"])
+        # Orphans: SSTs persisted by a flush/compaction whose manifest
+        # commit never happened. Plain cleanup, not crash-eligible ops.
+        for file_name in storage.list(SST_PREFIX):
+            if file_name not in live_names:
+                storage.delete(file_name, label="gc")
+        self._wal_floor = floor
+        self._flushed_through = next_seqno - 1
+        if not self.options.use_wal:
+            self.wal = None
+            for file_name in storage.list(SEGMENT_PREFIX):
+                storage.delete(file_name, label="gc")
+            return
+        recovery = read_segments(
+            storage, floor, paranoid=self.options.paranoid_checks
+        )
+        for seqno, op, key, value in recovery.records:
+            if seqno <= self._flushed_through:
+                continue  # already covered by a committed SST
+            if op == OP_PUT:
+                self.memtable.put(key, value)
+            else:
+                self.memtable.delete(key)
+        last = max(recovery.last_seqno, self._flushed_through)
+        # Write new records to a fresh segment *after* every surviving
+        # one. The replayed segments stay on disk — still durable, no
+        # re-append needed — until the next flush commits an SST that
+        # covers them and moves the floor past them.
+        existing = [
+            segment_index(n) for n in storage.list(SEGMENT_PREFIX)
+        ]
+        self.wal = DurableWAL(
+            storage,
+            write_mode=self.options.write_mode,
+            batch_size=self.options.wal_batch_size,
+            segment_index=max(existing, default=floor - 1) + 1,
+            next_seqno=last + 1,
+            stats=self.stats,
+        )
+        # Segments below the floor survive only a crash between the
+        # manifest commit and its truncation; finish the job.
+        self.wal.truncate_below(floor)
+        self._maybe_flush()
 
     # -- writes -------------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> None:
-        """Insert or overwrite ``key``; may trigger flush + compaction."""
+    def put(self, key: bytes, value: bytes) -> Optional[int]:
+        """Insert or overwrite ``key``; may trigger flush + compaction.
+
+        On a durable store, returns the write's WAL sequence number —
+        the write is **acknowledged durable** once
+        :attr:`durable_seqno` reaches it (immediately under
+        ``SYNC_EVERY_WRITE``; when its group's fsync completes under
+        ``BATCH``; at the next flush under ``NOSYNC``). Returns None
+        on the in-memory store.
+        """
+        seqno = None
         if self.wal is not None:
-            self.wal.append_put(key, value)
+            seqno = self.wal.append_put(key, value)
         self.memtable.put(key, value)
         self.stats.puts += 1
         self._maybe_flush()
+        return seqno
 
-    def delete(self, key: bytes) -> None:
-        """Delete ``key`` (writes a tombstone)."""
+    def delete(self, key: bytes) -> Optional[int]:
+        """Delete ``key`` (writes a tombstone). Returns the WAL seqno
+        on a durable store (see :meth:`put` for the ack contract)."""
+        seqno = None
         if self.wal is not None:
-            self.wal.append_delete(key)
+            seqno = self.wal.append_delete(key)
         self.memtable.delete(key)
         self.stats.deletes += 1
         self._maybe_flush()
+        return seqno
+
+    @property
+    def durable_seqno(self) -> int:
+        """Highest seqno through which every write is acknowledged
+        durable: covered by a committed SST or a completed WAL group
+        fsync, whichever is further along."""
+        durable = self._flushed_through
+        if isinstance(self.wal, DurableWAL):
+            durable = max(durable, self.wal.synced_seqno)
+        return durable
+
+    @property
+    def last_seqno(self) -> int:
+        """Seqno of the newest write issued (acknowledged or not)."""
+        if isinstance(self.wal, DurableWAL):
+            return self.wal.last_seqno
+        return self._flushed_through
+
+    def sync_wal(self) -> None:
+        """Explicit durability barrier: fsync the open WAL group now
+        (no-op on the in-memory store)."""
+        if isinstance(self.wal, DurableWAL):
+            self.wal.sync()
 
     # -- reads --------------------------------------------------------------
 
@@ -238,18 +393,74 @@ class MiniRocks:
             self.flush()
 
     def flush(self) -> Optional[SSTable]:
-        """Write the memtable out as a new L0 SST with a fresh file ID."""
+        """Write the memtable out as a new L0 SST with a fresh file ID.
+
+        Durable ordering: persist the SST (atomic write, crash point
+        ``flush``), rotate the WAL to a fresh segment, then commit the
+        manifest naming the new file *and* the new WAL floor in one
+        atomic rename (crash point ``manifest-commit``). A crash
+        anywhere in between leaves the old manifest + the old WAL
+        segments, which reconstruct the pre-flush state exactly; only
+        after the commit are the covered segments deleted.
+        """
         if len(self.memtable) == 0:
             return None
         entries = list(self.memtable.sorted_entries())
         sst = self._build_sst(entries)
+        if self.storage is not None:
+            self._persist_sst(sst, label="flush")
         self.manifest.add_file(0, sst)
         self.memtable.clear()
-        if self.wal is not None:
+        if self.storage is not None:
+            flushed, floor = self._flushed_through, self._wal_floor
+            if isinstance(self.wal, DurableWAL):
+                flushed = self.wal.last_seqno
+                floor = self.wal.rotate()
+            self._commit_manifest(wal_floor=floor, flushed_through=flushed)
+            # Only now is the flush durable: advance the acked
+            # watermark after the commit lands, never before, so
+            # ``durable_seqno`` cannot claim seqnos a crash inside
+            # the commit would lose.
+            self._flushed_through, self._wal_floor = flushed, floor
+            if isinstance(self.wal, DurableWAL):
+                self.wal.truncate_below(self._wal_floor)
+        elif self.wal is not None:
             self.wal.truncate()
         self.stats.flushes += 1
         self._maybe_compact()
         return sst
+
+    def _persist_sst(self, sst: SSTable, label: str) -> None:
+        """Write an SST to durable storage (atomic, all-or-nothing)."""
+        assert self.storage is not None
+        self.storage.write_atomic(
+            sst_filename(sst.fingerprint), sst.to_bytes(), label=label
+        )
+
+    def _commit_manifest(
+        self,
+        wal_floor: Optional[int] = None,
+        flushed_through: Optional[int] = None,
+    ) -> None:
+        """Atomically commit the live-file set + WAL coordinates.
+
+        ``flush`` passes the *candidate* coordinates explicitly and
+        installs them on ``self`` only after this returns; every other
+        caller commits the current attributes unchanged.
+        """
+        assert self.storage is not None
+        if wal_floor is None:
+            wal_floor = self._wal_floor
+        if flushed_through is None:
+            flushed_through = self._flushed_through
+        self.storage.write_atomic(
+            MANIFEST_NAME,
+            self.manifest.encode_state(
+                wal_floor=wal_floor,
+                next_seqno=flushed_through + 1,
+            ),
+            label="manifest-commit",
+        )
 
     def _build_sst(self, entries) -> SSTable:
         file_id = self._id_generator.next_id()
@@ -265,15 +476,34 @@ class MiniRocks:
             job = pick_compaction(self.manifest, self.options)
             if job is None:
                 return
+            dropped: List[SSTable] = []
+
+            def on_dropped(sst: SSTable) -> None:
+                self.cache.evict_file(sst.file_id)
+                dropped.append(sst)
+
+            def build(entries) -> SSTable:
+                sst = self._build_sst(entries)
+                if self.storage is not None:
+                    self._persist_sst(sst, label="compaction")
+                return sst
+
             run_compaction(
                 self.manifest,
                 self.options,
                 job,
-                build_sst=self._build_sst,
-                on_file_dropped=lambda sst: self.cache.evict_file(
-                    sst.file_id
-                ),
+                build_sst=build,
+                on_file_dropped=on_dropped,
             )
+            if self.storage is not None:
+                # Commit the new version first; input files are
+                # deleted only once nothing references them, so a
+                # crash at any point leaves a readable version.
+                self._commit_manifest()
+                for sst in dropped:
+                    name = sst_filename(sst.fingerprint)
+                    if self.storage.exists(name):
+                        self.storage.delete(name, label="sst-delete")
             self.stats.compactions += 1
 
     def compact_all(self) -> None:
@@ -294,27 +524,36 @@ class MiniRocks:
         if not entries:
             raise KVStoreError("cannot ingest an empty batch")
         sst = self._build_sst(entries)
+        if self.storage is not None:
+            self._persist_sst(sst, label="flush")
         self.manifest.add_file(0, sst)
+        if self.storage is not None:
+            self._commit_manifest()
         self._maybe_compact()
         return sst
 
     def recover_from_wal(self, payload: bytes) -> int:
         """Replay a serialized WAL into the memtable (crash recovery).
 
-        Returns the number of records applied.
+        Replayed records are **re-appended to the live WAL** — without
+        that, a second crash after recovery but before the next flush
+        would lose them all over again — and an oversized recovered
+        memtable flushes immediately. Returns the number of records
+        applied.
         """
         if self.wal is None:
             raise KVStoreError("store was configured without a WAL")
         recovered = WriteAheadLog.deserialize(payload)
         applied = 0
-        from repro.kvstore.wal import OP_PUT
-
         for op, key, value in recovered.records():
             if op == OP_PUT:
+                self.wal.append_put(key, value)
                 self.memtable.put(key, value)
             else:
+                self.wal.append_delete(key)
                 self.memtable.delete(key)
             applied += 1
+        self._maybe_flush()
         return applied
 
     # -- introspection ---------------------------------------------------------

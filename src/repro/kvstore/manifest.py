@@ -10,11 +10,16 @@ first); L1+ files are kept non-overlapping and sorted by min_key.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import KVStoreError
-from repro.kvstore.sstable import SSTable
+from repro.kvstore.sstable import SSTable, sst_filename
+
+#: Storage file name of the durable manifest (committed whole via
+#: write-then-rename, so it is always either the old or the new state).
+MANIFEST_NAME = "MANIFEST"
 
 
 @dataclass(frozen=True)
@@ -122,6 +127,66 @@ class Manifest:
     def attach_file(self, level: int, sst: SSTable) -> None:
         """Install a migrated file; its ID was assigned elsewhere."""
         self.add_file(level, sst, record_id=False)
+
+    # -- durable state -----------------------------------------------------
+
+    def encode_state(self, wal_floor: int, next_seqno: int) -> bytes:
+        """Serialize the current version for a durable manifest commit.
+
+        The state pairs the live-file set with the WAL coordinates it
+        covers: segments below ``wal_floor`` are redundant with the
+        listed SSTs, and recovery resumes sequence numbers at
+        ``next_seqno`` even when the covering segments are long gone.
+        ``assigned_ids`` rides along so cross-instance ID-uniqueness
+        audits survive a reopen.
+        """
+        state = {
+            "wal_floor": wal_floor,
+            "next_seqno": next_seqno,
+            "files": [
+                [level, sst_filename(sst.fingerprint)]
+                for level, sst in self.live_files()
+            ],
+            "assigned_ids": list(self.assigned_ids),
+        }
+        return json.dumps(state, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def decode_state(payload: bytes) -> dict:
+        """Parse and validate :meth:`encode_state` output."""
+        try:
+            state = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise KVStoreError(f"corrupt manifest: {exc}") from exc
+        for field_name in ("wal_floor", "next_seqno", "files",
+                           "assigned_ids"):
+            if field_name not in state:
+                raise KVStoreError(
+                    f"corrupt manifest: missing {field_name!r}"
+                )
+        if (
+            not isinstance(state["wal_floor"], int)
+            or not isinstance(state["next_seqno"], int)
+            or state["wal_floor"] < 0
+            or state["next_seqno"] < 1
+        ):
+            raise KVStoreError("corrupt manifest: bad WAL coordinates")
+        for entry in state["files"]:
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or not isinstance(entry[0], int)
+                or not isinstance(entry[1], str)
+            ):
+                raise KVStoreError(
+                    f"corrupt manifest: bad file entry {entry!r}"
+                )
+        return state
+
+    def restore_assigned_ids(self, ids: List[int]) -> None:
+        """Replace the assigned-ID audit trail (used at reopen, where
+        files were re-attached without re-recording their IDs)."""
+        self.assigned_ids = list(ids)
 
     def _check_level(self, level: int) -> None:
         if not 0 <= level < self.num_levels:

@@ -9,6 +9,7 @@ from typing import Callable, Optional
 from repro.core.base import IDGenerator
 from repro.core.registry import make_generator
 from repro.errors import ConfigurationError
+from repro.kvstore.wal import WriteMode
 
 #: Builds the store's uncoordinated file-ID generator.
 IDGeneratorFactory = Callable[[random.Random], IDGenerator]
@@ -56,6 +57,12 @@ class Options:
     paranoid_checks: bool = False
     #: Keep the write-ahead log (disable for bulk-load simulations).
     use_wal: bool = True
+    #: WAL fsync policy when the store runs on durable storage
+    #: (:class:`~repro.kvstore.wal.WriteMode`); ignored without one.
+    write_mode: WriteMode = WriteMode.BATCH
+    #: Initial group-commit size for ``WriteMode.BATCH`` (the adaptive
+    #: size floats in ``[1, 8 * wal_batch_size]``).
+    wal_batch_size: int = 8
 
     def __post_init__(self) -> None:
         if self.memtable_entries < 1:
@@ -68,6 +75,12 @@ class Options:
             raise ConfigurationError("num_levels must be >= 2")
         if self.id_universe < 2:
             raise ConfigurationError("id_universe must be >= 2")
+        if not isinstance(self.write_mode, WriteMode):
+            raise ConfigurationError(
+                f"write_mode must be a WriteMode, got {self.write_mode!r}"
+            )
+        if self.wal_batch_size < 1:
+            raise ConfigurationError("wal_batch_size must be >= 1")
         if self.id_generator_factory is None:
             self.id_generator_factory = generator_factory_from_spec(
                 self.id_algorithm, self.id_universe

@@ -26,6 +26,25 @@ from repro.kvstore.memtable import TOMBSTONE
 #: Process-global ground-truth sequence for corruption auditing.
 _fingerprint_counter = itertools.count(1)
 
+#: Durable SST file names (fingerprint-keyed: unique by construction,
+#: unlike the uncoordinated ``file_id`` the data path routes by).
+SST_PREFIX = "sst-"
+SST_SUFFIX = ".sst"
+
+#: Magic + format version for :meth:`SSTable.to_bytes`.
+_SST_MAGIC = b"SS\x01"
+
+
+def sst_filename(fingerprint: int) -> str:
+    """Storage file name for a persisted SST.
+
+    Keyed by the *fingerprint* (unique by construction), not the
+    uncoordinated ``file_id`` — two colliding SSTs must still occupy
+    distinct files on disk, exactly as in the real system, where the
+    collision happens in the shared cache, not the file system.
+    """
+    return f"{SST_PREFIX}{fingerprint:012d}{SST_SUFFIX}"
+
 
 def _encode_entries(entries: Sequence[Tuple[bytes, bytes]]) -> bytes:
     """Length-prefixed flat encoding of (key, value) pairs."""
@@ -102,6 +121,7 @@ class SSTable:
         bloom: Optional[BloomFilter],
         fingerprint: int,
         entry_count: int,
+        bloom_bits_per_key: int = 0,
     ):
         self.file_id = file_id
         self.blocks = blocks
@@ -109,6 +129,7 @@ class SSTable:
         self.bloom = bloom
         self.fingerprint = fingerprint
         self.entry_count = entry_count
+        self.bloom_bits_per_key = bloom_bits_per_key
 
     @classmethod
     def from_entries(
@@ -152,6 +173,109 @@ class SSTable:
             bloom=bloom,
             fingerprint=fingerprint,
             entry_count=len(entries),
+            bloom_bits_per_key=bloom_bits_per_key,
+        )
+
+    # -- durable round-trip --------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize for durable storage, preserving identity.
+
+        Both the uncoordinated ``file_id`` *and* the ground-truth
+        ``fingerprint`` survive the round-trip — a reloaded SST must
+        keep claiming its original cache blocks, or every reopen would
+        manufacture false cache-corruption signals.
+        """
+        id_bytes = self.file_id.to_bytes(
+            max(1, (self.file_id.bit_length() + 7) // 8), "big"
+        )
+        parts: List[bytes] = [
+            _SST_MAGIC,
+            self.fingerprint.to_bytes(8, "big"),
+            len(id_bytes).to_bytes(2, "big"),
+            id_bytes,
+            self.bloom_bits_per_key.to_bytes(4, "big"),
+            len(self.blocks).to_bytes(4, "big"),
+        ]
+        for block in self.blocks:
+            parts.append(len(block.payload).to_bytes(4, "big"))
+            parts.append(block.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SSTable":
+        """Inverse of :meth:`to_bytes`.
+
+        Blocks are rebuilt on their original boundaries (cache
+        granularity is part of the file, not the reader) and the bloom
+        filter is reconstructed from the decoded keys.
+        """
+        size = len(payload)
+        if payload[: len(_SST_MAGIC)] != _SST_MAGIC:
+            raise KVStoreError("bad SST magic/version")
+        offset = len(_SST_MAGIC)
+        if offset + 14 > size:
+            raise KVStoreError("truncated SST header")
+        fingerprint = int.from_bytes(payload[offset : offset + 8], "big")
+        offset += 8
+        id_len = int.from_bytes(payload[offset : offset + 2], "big")
+        offset += 2
+        if id_len > size - offset:
+            raise KVStoreError("SST file_id length exceeds payload")
+        file_id = int.from_bytes(payload[offset : offset + id_len], "big")
+        offset += id_len
+        if offset + 8 > size:
+            raise KVStoreError("truncated SST header")
+        bloom_bits_per_key = int.from_bytes(
+            payload[offset : offset + 4], "big"
+        )
+        offset += 4
+        num_blocks = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        if num_blocks == 0:
+            raise KVStoreError("SST with no blocks")
+        blocks: List[Block] = []
+        index_keys: List[bytes] = []
+        entry_count = 0
+        all_keys: List[bytes] = []
+        for block_no in range(num_blocks):
+            if offset + 4 > size:
+                raise KVStoreError("truncated SST block length")
+            block_len = int.from_bytes(payload[offset : offset + 4], "big")
+            offset += 4
+            if block_len > size - offset:
+                raise KVStoreError("SST block length exceeds payload")
+            body = payload[offset : offset + block_len]
+            offset += block_len
+            entries = _decode_entries(body)
+            if not entries:
+                raise KVStoreError("empty SST block")
+            blocks.append(
+                Block(
+                    payload=body,
+                    first_key=entries[0][0],
+                    last_key=entries[-1][0],
+                    owner_fingerprint=fingerprint,
+                    block_no=block_no,
+                )
+            )
+            index_keys.append(entries[-1][0])
+            entry_count += len(entries)
+            all_keys.extend(k for k, _ in entries)
+        if offset != size:
+            raise KVStoreError("trailing bytes after SST blocks")
+        bloom = None
+        if bloom_bits_per_key > 0:
+            bloom = BloomFilter(entry_count, bloom_bits_per_key)
+            bloom.add_all(all_keys)
+        return cls(
+            file_id=file_id,
+            blocks=blocks,
+            index_keys=index_keys,
+            bloom=bloom,
+            fingerprint=fingerprint,
+            entry_count=entry_count,
+            bloom_bits_per_key=bloom_bits_per_key,
         )
 
     @property

@@ -161,6 +161,11 @@ class ChaosEvent:
     action: str
     #: Node index within the shard's cluster target.
     node: int
+    #: Failure model for kill events: ``"outage"`` (unreachable, state
+    #: kept — the default) or ``"crash"`` (process death on a durable
+    #: cluster: memtable lost, recover() replays the WAL). Ignored on
+    #: recover events.
+    mode: str = "outage"
 
     def __post_init__(self) -> None:
         if self.at_op < 1:
@@ -172,6 +177,11 @@ class ChaosEvent:
             )
         if self.node < 0:
             raise ConfigurationError("chaos node index must be >= 0")
+        if self.mode not in ("outage", "crash"):
+            raise ConfigurationError(
+                f"chaos mode must be 'outage' or 'crash', "
+                f"got {self.mode!r}"
+            )
 
 
 def validate_chaos_schedule(events) -> None:
@@ -423,6 +433,7 @@ class DriverResult:
                         "at_op": event.at_op,
                         "action": event.action,
                         "node": event.node,
+                        "mode": event.mode,
                     }
                     for event in self.config.chaos
                 ],
@@ -485,15 +496,31 @@ def flush_and_report(sim: ClusterSimulator):
 
 
 def store_target_factory(
-    options_factory: Callable[[], Options]
+    options_factory: Callable[[], Options],
+    durable: bool = False,
 ) -> TargetFactory:
-    """Each shard drives a private :class:`MiniRocks` instance."""
+    """Each shard drives a private :class:`MiniRocks` instance.
+
+    With ``durable=True`` each shard's store opens on its own
+    fault-injecting :class:`~repro.kvstore.storage.SimulatedStorage`
+    (seeded from the shard seed), running the group-commit WAL data
+    path per ``options.write_mode`` — the target for benchmarking the
+    durable write path.
+    """
+    # Deferred import: keep the non-durable path free of storage deps.
+    from repro.kvstore.storage import SimulatedStorage
 
     def factory(shard: int, shard_seed: int) -> MiniRocks:
+        storage = None
+        if durable:
+            storage = SimulatedStorage(
+                seed=derive_seed(shard_seed, _TARGET_LABEL, 1)
+            )
         return MiniRocks(
             options_factory(),
             rng=random.Random(derive_seed(shard_seed, _TARGET_LABEL)),
             name=f"shard{shard}",
+            storage=storage,
         )
 
     return factory
@@ -507,12 +534,15 @@ def cluster_target_factory(
     read_quorum: Optional[int] = None,
     write_quorum: Optional[int] = None,
     routing: str = "ring",
+    durable: bool = False,
 ) -> TargetFactory:
     """Each shard drives a private :class:`ClusterSimulator` fleet.
 
     ``replication_factor``/``read_quorum``/``write_quorum`` configure
     quorum replication (defaults: single-copy, majority quorums);
-    ``routing`` selects ring (default) or the legacy modulo shim.
+    ``routing`` selects ring (default) or the legacy modulo shim;
+    ``durable=True`` gives every node fault-injecting storage so chaos
+    schedules may use ``mode="crash"`` kills.
     """
 
     def factory(shard: int, shard_seed: int) -> ClusterSimulator:
@@ -525,6 +555,7 @@ def cluster_target_factory(
             read_quorum=read_quorum,
             write_quorum=write_quorum,
             routing=routing,
+            durable=durable,
         )
 
     return factory
@@ -593,7 +624,14 @@ class WorkloadDriver:
             ):
                 event = chaos[chaos_index]
                 if event.action == "kill":
-                    target.kill(event.node)
+                    if event.mode == "crash":
+                        # Crash kills are opt-in per event; the plain
+                        # call keeps outage semantics working against
+                        # targets whose kill() has no mode parameter
+                        # (e.g. the network RPC target).
+                        target.kill(event.node, mode="crash")
+                    else:
+                        target.kill(event.node)
                 else:
                     target.recover(event.node)
                 chaos_index += 1
