@@ -33,9 +33,11 @@ from repro.kvstore.wal import (
     OP_PUT,
     SEGMENT_PREFIX,
     DurableWAL,
+    WALRecovery,
     WriteAheadLog,
     read_segments,
     segment_index,
+    segment_name,
 )
 
 
@@ -62,6 +64,13 @@ class DBStats:
     fsync_count: int = 0
     #: Framed bytes appended to the WAL (durable stores only).
     wal_bytes: int = 0
+    #: Bytes dropped at the WAL torn tail during recovery (durable
+    #: stores only; populated at open).
+    wal_torn_bytes: int = 0
+    #: Mid-log WAL corruption events recovery conservatively truncated
+    #: at (durable stores without ``paranoid_checks`` only — with them,
+    #: open raises instead). Nonzero means the log was silently cut.
+    wal_mid_log_corruptions: int = 0
 
 
 class MiniRocks:
@@ -130,11 +139,12 @@ class MiniRocks:
 
         Recovery runs inside: the committed manifest names the live
         SSTs and the WAL floor, live segments are replayed into the
-        memtable (stopping cleanly at a torn tail; raising
-        :class:`~repro.errors.WALCorruptionError` on mid-log damage
-        under ``paranoid_checks``), orphan files from interrupted
-        flushes/compactions are collected, and an oversized recovered
-        memtable flushes immediately.
+        memtable (stopping cleanly at a torn tail — which is then
+        trimmed off the segment so later recoveries see a clean log —
+        and raising :class:`~repro.errors.WALCorruptionError` on
+        mid-log damage under ``paranoid_checks``), orphan files from
+        interrupted flushes/compactions are collected, and an
+        oversized recovered memtable flushes immediately.
         """
         return cls(
             options=options, cache=cache, rng=rng, name=name,
@@ -176,6 +186,11 @@ class MiniRocks:
         recovery = read_segments(
             storage, floor, paranoid=self.options.paranoid_checks
         )
+        self.stats.wal_torn_bytes += recovery.torn_bytes
+        if recovery.mid_log_corruption:
+            self.stats.wal_mid_log_corruptions += 1
+        if recovery.torn_bytes > 0:
+            self._repair_wal_damage(recovery)
         for seqno, op, key, value in recovery.records:
             if seqno <= self._flushed_through:
                 continue  # already covered by a committed SST
@@ -203,6 +218,34 @@ class MiniRocks:
         # manifest commit and its truncation; finish the job.
         self.wal.truncate_below(floor)
         self._maybe_flush()
+
+    def _repair_wal_damage(self, recovery: WALRecovery) -> None:
+        """Neutralize the WAL damage recovery stopped at.
+
+        The damaged segment is about to become non-final (new writes
+        go to a fresh segment), and a leftover tear in a non-final
+        segment would read as mid-log corruption on the *next*
+        recovery — silently dropping every later (acked, fsynced)
+        segment, or refusing to open under ``paranoid_checks``. Trim
+        the segment to its valid prefix with an atomic rewrite, and
+        drop any segments past the damage (mid-log case: their records
+        were already conservatively discarded), so recovery is
+        idempotent across repeated crashes.
+
+        Only unsynced bytes can form a torn tail — a synced record
+        survives a crash intact — so trimming never discards an
+        acknowledged write.
+        """
+        storage = self.storage
+        assert storage is not None
+        damaged_index = recovery.segments[-1]
+        name = segment_name(damaged_index)
+        payload = storage.read(name)
+        keep = len(payload) - recovery.torn_bytes
+        storage.write_atomic(name, payload[:keep], label="wal-repair")
+        for other in storage.list(SEGMENT_PREFIX):
+            if segment_index(other) > damaged_index:
+                storage.delete(other, label="wal-repair")
 
     # -- writes -------------------------------------------------------------
 

@@ -35,7 +35,9 @@ segment is a torn write: recovery stops cleanly there. A failed frame
 cannot be produced by a crash and raises
 :class:`~repro.errors.WALCorruptionError` under ``paranoid_checks``
 (without it, recovery still stops at the bad frame — conservatively
-dropping the rest — but records the event).
+dropping the rest — but records the event on the
+:class:`WALRecovery` result, which the store mirrors into
+``DBStats.wal_mid_log_corruptions`` / ``wal_torn_bytes``).
 """
 
 from __future__ import annotations
@@ -361,6 +363,13 @@ class DurableWAL:
             else:
                 self.synced_seqno = self.last_seqno
                 self.pending_records = 0
+        else:
+            # The open group seals with the segment; its records'
+            # durability is the manifest commit that follows, so don't
+            # advance the ack horizon — but a later explicit sync()
+            # must not try to fsync the old (or a not-yet-created)
+            # segment for them.
+            self.pending_records = 0
         self.segment_index += 1
         return self.segment_index
 

@@ -133,6 +133,23 @@ def _assert_acked_prefix_survives(storage, options, attempted, acked, context):
     assert _recovered_state(again) == _apply(attempted[:k]), (
         f"{context}: recovered state did not survive a second crash"
     )
+    # Recovery must also leave a *writable* log: new acked writes land
+    # in a fresh segment after the (possibly torn) recovered one, and
+    # a third crash must not misread the old tear as mid-log
+    # corruption and drop them (the double-crash regression).
+    followups = [
+        ("put", key, f"post-crash-{i}".encode())
+        for i, key in enumerate(KEYS[:3])
+    ]
+    for op in followups:
+        _execute(again, op)
+    again.sync_wal()
+    storage.crash()
+    storage.restart()
+    final = MiniRocks.open(storage, options=options, rng=random.Random(997))
+    assert _recovered_state(final) == _apply(attempted[:k] + followups), (
+        f"{context}: acked post-recovery writes lost after another crash"
+    )
 
 
 class TestLabeledCrashMatrix:

@@ -482,6 +482,91 @@ class TestDurableMiniRocks:
         assert db.stats.fsync_count == 1
         assert db.stats.wal_bytes > 0
 
+    def test_acked_writes_after_recovery_survive_second_crash(self):
+        """Crash -> recover -> write + sync_wal -> crash: the first
+        crash's torn tail must be neutralized during recovery, or the
+        second recovery finds the tear in a now non-final segment,
+        misreads it as mid-log corruption, and drops the new segment's
+        acknowledged records (or refuses to open under paranoid)."""
+        options = _durable_options(
+            memtable_entries=1000,
+            write_mode=WriteMode.BATCH,
+            wal_batch_size=4,
+            paranoid_checks=True,
+        )
+        for seed in range(40):
+            storage = SimulatedStorage(seed=seed)
+            db = MiniRocks.open(
+                storage, options=options, rng=random.Random(1)
+            )
+            for i in range(10):  # one acked group of 4, 6 buffered
+                db.put(f"k{i}".encode(), b"v0")
+            storage.crash()
+            storage.restart()
+            mid = MiniRocks.open(
+                storage, options=options, rng=random.Random(2)
+            )
+            for i in range(5):
+                mid.put(f"p{i}".encode(), b"v1")
+            mid.sync_wal()
+            storage.crash()
+            storage.restart()
+            final = MiniRocks.open(
+                storage, options=options, rng=random.Random(3)
+            )
+            for i in range(4):
+                assert final.get(f"k{i}".encode()) == b"v0", seed
+            for i in range(5):
+                assert final.get(f"p{i}".encode()) == b"v1", seed
+
+    def test_recovery_trims_torn_tail_and_reports_stats(self):
+        storage = SimulatedStorage(seed=15)
+        records = [(1, OP_PUT, b"a", b"1"), (2, OP_PUT, b"b", b"2")]
+        clean = _fill_segment(storage, records)
+        garbage = b"\x00garbage"  # too short for a header: a torn tail
+        storage.append(segment_name(0), garbage)
+        storage.fsync(segment_name(0))
+        options = _durable_options(memtable_entries=1000)
+        db = MiniRocks.open(storage, options=options, rng=random.Random(15))
+        assert db.stats.wal_torn_bytes == len(garbage)
+        assert db.stats.wal_mid_log_corruptions == 0
+        assert db.get(b"a") == b"1"
+        assert db.get(b"b") == b"2"
+        # The tear is gone from disk: the segment now holds exactly
+        # its valid prefix, so later recoveries see a clean log.
+        assert storage.read(segment_name(0)) == clean
+        again = MiniRocks.open(
+            storage, options=options, rng=random.Random(16)
+        )
+        assert again.stats.wal_torn_bytes == 0
+
+    def test_mid_log_corruption_is_counted_and_neutralized(self):
+        storage = SimulatedStorage(seed=16)
+        records = [
+            encode_record(1, OP_PUT, b"a", b"1"),
+            encode_record(2, OP_PUT, b"b", b"2"),
+            encode_record(3, OP_PUT, b"c", b"3"),
+        ]
+        damaged = bytearray(records[1])
+        damaged[5] ^= 0x5A  # valid record follows -> mid-log damage
+        storage.append(
+            segment_name(0), records[0] + bytes(damaged) + records[2]
+        )
+        storage.fsync(segment_name(0))
+        options = _durable_options(memtable_entries=1000)
+        db = MiniRocks.open(storage, options=options, rng=random.Random(17))
+        assert db.stats.wal_mid_log_corruptions == 1
+        assert db.stats.wal_torn_bytes == len(records[1]) + len(records[2])
+        assert db.get(b"a") == b"1"
+        assert db.get(b"b") is None  # conservatively dropped, but counted
+        # Idempotent: a reopen sees the already-trimmed, clean log.
+        again = MiniRocks.open(
+            storage, options=options, rng=random.Random(18)
+        )
+        assert again.stats.wal_mid_log_corruptions == 0
+        assert again.stats.wal_torn_bytes == 0
+        assert again.get(b"a") == b"1"
+
     def test_paranoid_reopen_raises_on_mid_log_corruption(self):
         storage = SimulatedStorage(seed=14)
         options = _durable_options(memtable_entries=1000)
