@@ -198,6 +198,207 @@ def test_kv_workload_network(benchmark, workload):
     _record(benchmark, result)
 
 
+def _p99_us(latencies_s) -> float:
+    """99th-percentile of a latency sample, in microseconds."""
+    ordered = sorted(latencies_s)
+    index = min(len(ordered) - 1, int(len(ordered) * 0.99))
+    return ordered[index] * 1e6
+
+
+def _readpath_store(record_count: int):
+    """A deterministic in-memory store for read-path microbenches."""
+    import random
+
+    from repro.kvstore.db import MiniRocks
+
+    db = MiniRocks(_options(), rng=random.Random(BENCH_SEED))
+    keys = [f"user{i:08d}".encode() for i in range(record_count)]
+    value = b"x" * 32
+    for key in keys:
+        db.put(key, value)
+    return db, keys
+
+
+@pytest.mark.parametrize("outcome", ["hit", "miss"])
+def test_kv_point_get(benchmark, outcome):
+    """Point-get microbench: the zero-decode block read path.
+
+    ``hit`` probes uniformly over present keys (bloom pass → offset
+    bisect → single-record slice); ``miss`` probes absent keys, which
+    the serialized bloom filters should reject without touching any
+    block — the miss row is dominated by hash + probe cost.
+    """
+    import random
+    from time import perf_counter
+
+    benchmark.extra_info["target"] = "readpath"
+    benchmark.extra_info["workload"] = f"point_get_{outcome}"
+    db, keys = _readpath_store(_scaled(2000, 200))
+    lookups = _scaled(8000, 500)
+    rng = random.Random(BENCH_SEED + 1)
+    if outcome == "hit":
+        probes = [keys[rng.randrange(len(keys))] for _ in range(lookups)]
+        assert all(db.get(key) is not None for key in probes[:50])
+    else:
+        probes = [
+            f"absent{rng.randrange(1 << 30):010d}".encode()
+            for _ in range(lookups)
+        ]
+        assert all(db.get(key) is None for key in probes[:50])
+
+    def run():
+        get = db.get
+        latencies = []
+        record = latencies.append
+        start = perf_counter()
+        for key in probes:
+            t0 = perf_counter()
+            get(key)
+            record(perf_counter() - t0)
+        return len(probes) / (perf_counter() - start), latencies
+
+    ops, latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ops_per_second"] = ops
+    benchmark.extra_info["p99_us"] = _p99_us(latencies)
+    benchmark.extra_info["bloom_negative"] = db.stats.bloom_negative
+    print(f"\nPOINT_GET[{outcome}]: {ops:,.0f} ops/s")
+
+
+def test_kv_multi_get_batch(benchmark):
+    """Batched point lookups: one SST walk + vectorized bloom probes.
+
+    Throughput is keys resolved per second over 64-key batches; the
+    bench asserts batch answers match looped :meth:`get` before
+    timing, so the row can never go fast by going wrong.
+    """
+    import random
+    from time import perf_counter
+
+    benchmark.extra_info["target"] = "readpath"
+    benchmark.extra_info["workload"] = "multi_get"
+    db, keys = _readpath_store(_scaled(2000, 200))
+    lookups = _scaled(8000, 500)
+    rng = random.Random(BENCH_SEED + 2)
+    universe = keys + [
+        f"absent{rng.randrange(1 << 30):010d}".encode()
+        for _ in range(len(keys) // 20 + 1)
+    ]
+    batches = []
+    remaining = lookups
+    while remaining > 0:
+        size = min(64, remaining)
+        batches.append(
+            [universe[rng.randrange(len(universe))] for _ in range(size)]
+        )
+        remaining -= size
+    sample = batches[0]
+    assert db.multi_get(sample) == [db.get(key) for key in sample]
+
+    def run():
+        multi_get = db.multi_get
+        latencies = []
+        record = latencies.append
+        start = perf_counter()
+        for batch in batches:
+            t0 = perf_counter()
+            multi_get(batch)
+            record(perf_counter() - t0)
+        return lookups / (perf_counter() - start), latencies
+
+    ops, latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ops_per_second"] = ops
+    # Tail latency is per *batch* — one multi_get call resolves 64 keys.
+    benchmark.extra_info["p99_us"] = _p99_us(latencies)
+    print(f"\nMULTI_GET: {ops:,.0f} keys/s (batch=64)")
+
+
+@pytest.mark.parametrize("version", [1, 2], ids=["v1", "v2"])
+def test_kv_reopen_format(benchmark, version):
+    """Reopen cost per SST container format, in entries loaded per sec.
+
+    v1 must re-decode every block (bloom rebuilt by re-hashing every
+    key); v2 restores serialized blooms + offset tables and decodes
+    nothing — the rows price exactly the reopen win of the v2 format.
+    """
+    import random
+    from time import perf_counter
+
+    from repro.kvstore.db import MiniRocks
+    from repro.kvstore.storage import SimulatedStorage
+
+    benchmark.extra_info["target"] = "reopen"
+    benchmark.extra_info["workload"] = f"v{version}"
+
+    def versioned_options() -> Options:
+        options = _options()
+        options.sst_format_version = version
+        return options
+
+    storage = SimulatedStorage(seed=BENCH_SEED)
+    db = MiniRocks.open(
+        storage,
+        options=versioned_options(),
+        rng=random.Random(BENCH_SEED),
+    )
+    records = _scaled(2000, 200)
+    for i in range(records):
+        db.put(f"user{i:08d}".encode(), b"x" * 32)
+    db.flush()
+    live_entries = db.manifest.total_entries()
+    assert live_entries > 0
+
+    def run():
+        latencies = []
+        for _ in range(5):
+            start = perf_counter()
+            reopened = MiniRocks.open(
+                storage,
+                options=versioned_options(),
+                rng=random.Random(BENCH_SEED + 1),
+            )
+            latencies.append(perf_counter() - start)
+            assert reopened.manifest.total_entries() == live_entries
+        return live_entries / min(latencies), latencies
+
+    ops, latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ops_per_second"] = ops
+    # Tail latency is per full reopen (manifest + every live SST).
+    benchmark.extra_info["p99_us"] = _p99_us(latencies)
+    benchmark.extra_info["live_entries"] = live_entries
+    print(f"\nREOPEN[v{version}]: {ops:,.0f} entries/s")
+
+
+def test_kv_format_fingerprint_identity(benchmark):
+    """SST format v1 and v2 stores serve bit-identical workload C.
+
+    Same seed, same durable target, only ``sst_format_version``
+    differs — the driver fingerprint (op+key+outcome CRC) must match,
+    proving the storage format never leaks into returned values.
+    """
+
+    def options_for(version: int):
+        def make() -> Options:
+            options = _options()
+            options.sst_format_version = version
+            return options
+
+        return make
+
+    def run_with(version: int):
+        return WorkloadDriver(
+            store_target_factory(options_for(version), durable=True),
+            _config("c"),
+        ).run()
+
+    v1_result = run_with(1)
+    v2_result = benchmark.pedantic(
+        lambda: run_with(2), rounds=1, iterations=1
+    )
+    assert v1_result.fingerprint == v2_result.fingerprint
+    assert v1_result.op_counts == v2_result.op_counts
+    benchmark.extra_info["fingerprint"] = v2_result.fingerprint
+
+
 def test_kv_driver_worker_determinism(benchmark):
     """The acceptance gate: workers=1 and workers=4 agree bit-for-bit."""
     spec = _spec("f")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.kvstore.sstable import Block
@@ -53,6 +53,10 @@ class BlockCache:
             raise ConfigurationError("cache capacity must be >= 1 block")
         self.capacity = capacity_blocks
         self._blocks: "OrderedDict[CacheKey, Block]" = OrderedDict()
+        #: Per-file key index so :meth:`evict_file` touches only that
+        #: file's blocks, not the whole cache (compaction deletes call
+        #: it once per victim file).
+        self._by_file: Dict[int, Set[int]] = {}
         self.stats = CacheStats()
         #: (file_id, expected_fingerprint, found_fingerprint) audit log.
         self.collision_log: List[Tuple[int, int, int]] = []
@@ -88,23 +92,38 @@ class BlockCache:
         key = (file_id, block_no)
         self._blocks[key] = block
         self._blocks.move_to_end(key)
+        self._by_file.setdefault(file_id, set()).add(block_no)
         self.stats.insertions += 1
         while len(self._blocks) > self.capacity:
-            self._blocks.popitem(last=False)
+            evicted, _block = self._blocks.popitem(last=False)
+            self._forget(evicted)
             self.stats.evictions += 1
+
+    def _forget(self, key: CacheKey) -> None:
+        """Drop ``key`` from the per-file index."""
+        blocks_of_file = self._by_file.get(key[0])
+        if blocks_of_file is not None:
+            blocks_of_file.discard(key[1])
+            if not blocks_of_file:
+                del self._by_file[key[0]]
 
     def evict_file(self, file_id: int) -> int:
         """Drop all cached blocks of ``file_id``; returns the count.
 
-        Called when a file is deleted by compaction. Note this cannot
-        repair a collision: blocks of the *other* same-ID file vanish
-        too (exactly the cache-churn symptom RocksDB observed).
+        Called when a file is deleted by compaction. O(blocks of that
+        file) via the per-file index — not a scan of the entire cache.
+        Note this cannot repair a collision: blocks of the *other*
+        same-ID file vanish too (exactly the cache-churn symptom
+        RocksDB observed).
         """
-        doomed = [key for key in self._blocks if key[0] == file_id]
-        for key in doomed:
-            del self._blocks[key]
-        return len(doomed)
+        block_nos = self._by_file.pop(file_id, None)
+        if not block_nos:
+            return 0
+        for block_no in block_nos:
+            del self._blocks[(file_id, block_no)]
+        return len(block_nos)
 
     def clear(self) -> None:
         """Drop all entries (stats are kept)."""
         self._blocks.clear()
+        self._by_file.clear()

@@ -9,7 +9,6 @@ engines use for range reads and compaction previews.
 
 from __future__ import annotations
 
-import bisect
 import heapq
 from typing import Iterator, List, Optional, Tuple
 
@@ -32,8 +31,9 @@ class LSMIterator:
     """Forward iterator over the merged, deduplicated key space.
 
     Construct via :func:`iterate_db` (or pass explicit sources, newest
-    first). The iterator snapshots the memtable at construction time;
-    SST blocks are immutable so no further isolation is needed.
+    first). SST blocks are immutable; the memtable source streams the
+    live sorted buffer, so the store must not be written while the
+    iterator is being consumed.
     """
 
     def __init__(self, sources_newest_first: List[Iterator[Tuple[bytes, bytes]]]):
@@ -108,17 +108,19 @@ class LSMIterator:
 def iterate_db(db, start: Optional[bytes] = None) -> LSMIterator:
     """Build an :class:`LSMIterator` over a ``MiniRocks`` instance.
 
-    Sources newest first: memtable snapshot, then L0 newest→oldest,
+    Sources newest first: memtable stream, then L0 newest→oldest,
     then L1..Lmax (non-overlapping levels are each one sorted stream).
     With ``start``, every source is positioned at the first entry
     ``>= start`` (files entirely below it are pruned), so a seeked
-    scan costs O(rows read), not O(keys below ``start``).
+    scan costs O(rows read), not O(keys below ``start``). The memtable
+    source streams the sorted buffer directly — nothing is
+    materialized per scan — so the store must not be written while the
+    iterator is live (every in-repo consumer drains it first).
     """
-    memtable_entries = list(db.memtable.sorted_entries())
-    if start is not None:
-        keys = [key for key, _ in memtable_entries]
-        memtable_entries = memtable_entries[bisect.bisect_left(keys, start):]
-    sources: List[Iterator[Tuple[bytes, bytes]]] = [iter(memtable_entries)]
+    sources: List[Iterator[Tuple[bytes, bytes]]] = [
+        db.memtable.sorted_entries() if start is None
+        else db.memtable.entries_from(start)
+    ]
     for sst in db.manifest.level(0):
         if start is not None and sst.max_key < start:
             continue

@@ -70,6 +70,18 @@ class Manifest:
         """The full edit history (oldest first)."""
         return list(self._edits)
 
+    def files_newest_first(self) -> Iterator[SSTable]:
+        """All live files in point-read precedence order.
+
+        L0 newest-to-oldest, then L1..Lmax. For any single key, the
+        files of this stream that contain it in their range are exactly
+        :meth:`candidates_for_key` in the same order (non-overlapping
+        L1+ levels hold at most one candidate each) — the batched
+        ``multi_get`` walks this once for a whole key batch.
+        """
+        for files in self._levels:
+            yield from files
+
     def candidates_for_key(self, key: bytes) -> Iterator[Tuple[int, SSTable]]:
         """Files that may contain ``key``, newest data first.
 
@@ -77,11 +89,11 @@ class Manifest:
         at L1+ at most one file per level can contain the key.
         """
         for sst in self._levels[0]:
-            if sst.key_in_range(key):
+            if sst.min_key <= key <= sst.max_key:
                 yield 0, sst
         for level_index in range(1, self.num_levels):
             for sst in self._levels[level_index]:
-                if sst.key_in_range(key):
+                if sst.min_key <= key <= sst.max_key:
                     yield level_index, sst
                     break  # non-overlapping: only one candidate per level
 

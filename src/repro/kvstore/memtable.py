@@ -3,60 +3,101 @@
 MiniRocks keeps recent writes in a :class:`MemTable`; deletes are
 recorded as tombstones so they can shadow older SST entries until
 compaction drops them. Keys and values are ``bytes``.
+
+The buffer is **incrementally sorted** (a ``sortedcontainers``
+``SortedDict`` — the skiplist stand-in real engines use): puts and
+gets stay O(log n), but flush emits the entries in key order with no
+sort, ``sorted_entries`` streams, and a seeked scan starts mid-keyspace
+via :meth:`entries_from` without materializing the whole table. When
+``sortedcontainers`` is absent the class degrades to the original
+hash-map-plus-sort-on-flush (same results, flush pays the sort).
+
+Byte size is tracked incrementally on put/delete/clear, so
+:meth:`approximate_size` is O(1) instead of a full walk.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+import bisect
+from typing import Iterator, Optional, Tuple
 
 from repro.errors import KVStoreError
+
+try:  # soft dependency: degrade to dict + sort-on-read
+    from sortedcontainers import SortedDict
+except ImportError:  # pragma: no cover - exercised on bare hosts
+    SortedDict = None
 
 #: Sentinel stored for deleted keys.
 TOMBSTONE: bytes = b"\x00__repro_tombstone__\x00"
 
 
 class MemTable:
-    """A mutable, unordered buffer; sorted only at flush time.
-
-    A hash map with deferred sorting is the right trade-off here: puts
-    and gets are O(1), and the O(k log k) sort is paid once per flush,
-    mirroring the skiplist-amortization argument real engines make.
-    """
+    """A mutable buffer kept in key order (see module docstring)."""
 
     def __init__(self) -> None:
-        self._entries: Dict[bytes, bytes] = {}
+        self._entries = SortedDict() if SortedDict is not None else {}
+        self._approximate_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def approximate_size(self) -> int:
-        """Bytes of keys+values currently buffered."""
-        return sum(len(k) + len(v) for k, v in self._entries.items())
+        """Bytes of keys+values currently buffered (O(1))."""
+        return self._approximate_bytes
+
+    def _store(self, key: bytes, value: bytes) -> None:
+        previous = self._entries.get(key)
+        if previous is None:
+            self._approximate_bytes += len(key) + len(value)
+        else:
+            self._approximate_bytes += len(value) - len(previous)
+        self._entries[key] = value
 
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or overwrite ``key``."""
         _check_key(key)
         if value == TOMBSTONE:
             raise KVStoreError("value collides with the tombstone sentinel")
-        self._entries[key] = value
+        self._store(key, value)
 
     def delete(self, key: bytes) -> None:
         """Record a tombstone for ``key``."""
         _check_key(key)
-        self._entries[key] = TOMBSTONE
+        self._store(key, TOMBSTONE)
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the buffered value, the tombstone, or None if absent."""
         return self._entries.get(key)
 
     def sorted_entries(self) -> Iterator[Tuple[bytes, bytes]]:
-        """All entries (including tombstones) in ascending key order."""
-        for key in sorted(self._entries):
-            yield key, self._entries[key]
+        """All entries (including tombstones) in ascending key order.
+
+        Streams the already-sorted structure — no per-call sort. The
+        buffer must not be mutated while the iterator is live (flush
+        and scan both drain it before writing).
+        """
+        if SortedDict is not None:
+            return iter(self._entries.items())
+        return iter(sorted(self._entries.items()))
+
+    def entries_from(self, start: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Entries with key >= ``start`` in ascending key order.
+
+        O(log n) positioning plus O(rows read) — a seeked scan no
+        longer materializes (or sorts) the entries below ``start``.
+        """
+        entries = self._entries
+        if SortedDict is not None:
+            return ((key, entries[key]) for key in entries.irange(start))
+        ordered = sorted(entries.items())
+        keys = [key for key, _ in ordered]
+        return iter(ordered[bisect.bisect_left(keys, start):])
 
     def clear(self) -> None:
         """Drop everything (after a successful flush)."""
         self._entries.clear()
+        self._approximate_bytes = 0
 
 
 def _check_key(key: bytes) -> None:

@@ -10,13 +10,29 @@ Each SST also carries a ``fingerprint``: a process-global sequence
 number that is unique *by construction* (it is what a coordinated
 system would use). It exists purely as ground truth for the corruption
 auditor — the data path never routes by it.
+
+Block format v2 (the default since PR 8) makes point lookups
+decode-free. A block payload is::
+
+    records   (klen:u32 | key | vlen:u32 | value) × count
+    offsets   count × u32   — record start offsets, ascending from 0
+    trailer   count:u32 | magic:4
+
+``Block.get`` binary-searches the offset table and slices out only the
+matching record — no full decode, no per-lookup key-list allocation.
+The offset view is parsed (and strictly validated against the record
+bytes — a flipped or truncated trailer raises
+:class:`~repro.errors.KVStoreError` instead of misreading) once per
+block and memoized. Format-v1 payloads (records only, no trailer) stay
+readable: their offset view is built by a one-time scan.
 """
 
 from __future__ import annotations
 
 import bisect
 import itertools
-from dataclasses import dataclass
+import struct
+from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import KVStoreError
@@ -31,8 +47,14 @@ _fingerprint_counter = itertools.count(1)
 SST_PREFIX = "sst-"
 SST_SUFFIX = ".sst"
 
-#: Magic + format version for :meth:`SSTable.to_bytes`.
-_SST_MAGIC = b"SS\x01"
+#: Magic + format version prefixes for :meth:`SSTable.to_bytes`.
+_SST_MAGIC_V1 = b"SS\x01"
+_SST_MAGIC_V2 = b"SS\x02"
+
+#: Trailer magic closing a format-v2 block payload.
+_BLOCK_MAGIC = b"BK\xe2\x02"
+#: count:u32 + magic
+_TRAILER_FIXED = 4 + len(_BLOCK_MAGIC)
 
 
 def sst_filename(fingerprint: int) -> str:
@@ -46,44 +68,158 @@ def sst_filename(fingerprint: int) -> str:
     return f"{SST_PREFIX}{fingerprint:012d}{SST_SUFFIX}"
 
 
-def _encode_entries(entries: Sequence[Tuple[bytes, bytes]]) -> bytes:
-    """Length-prefixed flat encoding of (key, value) pairs."""
+def _encode_records(
+    entries: Sequence[Tuple[bytes, bytes]]
+) -> Tuple[List[bytes], List[int]]:
+    """Record region parts + the start offset of each record."""
     parts: List[bytes] = []
+    offsets: List[int] = []
+    position = 0
     for key, value in entries:
+        offsets.append(position)
         parts.append(len(key).to_bytes(4, "big"))
         parts.append(key)
         parts.append(len(value).to_bytes(4, "big"))
         parts.append(value)
+        position += 8 + len(key) + len(value)
+    return parts, offsets
+
+
+def _encode_entries(entries: Sequence[Tuple[bytes, bytes]]) -> bytes:
+    """Format-v2 encoding of (key, value) pairs (offset-index trailer)."""
+    parts, offsets = _encode_records(entries)
+    parts.append(struct.pack(f">{len(offsets)}I", *offsets))
+    parts.append(len(offsets).to_bytes(4, "big"))
+    parts.append(_BLOCK_MAGIC)
     return b"".join(parts)
 
 
-def _decode_entries(payload: bytes) -> List[Tuple[bytes, bytes]]:
-    """Inverse of :func:`_encode_entries`."""
-    entries: List[Tuple[bytes, bytes]] = []
+def _scan_v1_offsets(payload: bytes) -> List[int]:
+    """Offset table of a v1 payload (records only), by linear scan."""
+    offsets: List[int] = []
     offset = 0
     size = len(payload)
     while offset < size:
         if offset + 4 > size:
             raise KVStoreError("truncated block payload (key length)")
         key_len = int.from_bytes(payload[offset : offset + 4], "big")
-        offset += 4
-        key = payload[offset : offset + key_len]
-        offset += key_len
-        if offset + 4 > size:
-            raise KVStoreError("truncated block payload (value length)")
-        value_len = int.from_bytes(payload[offset : offset + 4], "big")
-        offset += 4
-        value = payload[offset : offset + value_len]
-        offset += value_len
-        if len(key) != key_len or len(value) != value_len:
+        if key_len == 0:
+            # Legit blocks never hold empty keys (the memtable rejects
+            # them); a zero here means we are reading a v2 offset table
+            # (offsets[0] is always 0) or other non-record bytes.
+            raise KVStoreError("corrupt block payload (empty key)")
+        if offset + 8 + key_len > size:
+            raise KVStoreError("truncated block payload (key body)")
+        value_len = int.from_bytes(
+            payload[offset + 4 + key_len : offset + 8 + key_len], "big"
+        )
+        if offset + 8 + key_len + value_len > size:
             raise KVStoreError("truncated block payload (record body)")
-        entries.append((key, value))
+        offsets.append(offset)
+        offset += 8 + key_len + value_len
+    return offsets
+
+
+def _parse_v2_offsets(payload: bytes) -> List[int]:
+    """Parse + strictly validate a v2 payload's offset table.
+
+    The stored table must agree exactly with the record walk (each
+    record's length prefixes tile the record region): any bit flip or
+    truncation in the trailer — offsets, count, or magic — fails
+    loudly here rather than sending a binary search to a wrong slice.
+    """
+    size = len(payload)
+    if size < _TRAILER_FIXED or payload[-len(_BLOCK_MAGIC):] != _BLOCK_MAGIC:
+        raise KVStoreError("block payload lacks the v2 trailer magic")
+    count = int.from_bytes(
+        payload[size - _TRAILER_FIXED : size - len(_BLOCK_MAGIC)], "big"
+    )
+    if count == 0:
+        if size != _TRAILER_FIXED:
+            raise KVStoreError("v2 block with no records but a body")
+        return []
+    body_size = size - _TRAILER_FIXED - 4 * count
+    if body_size < 8 * count:  # every record costs >= 8 bytes
+        raise KVStoreError("v2 block offset table exceeds payload")
+    offsets = list(
+        struct.unpack_from(f">{count}I", payload, body_size)
+    )
+    # Walk the record region and require exact agreement.
+    position = 0
+    for index in range(count):
+        if offsets[index] != position:
+            raise KVStoreError(
+                f"v2 block offset[{index}] is {offsets[index]}, "
+                f"record walk says {position}"
+            )
+        if position + 8 > body_size:
+            raise KVStoreError("v2 block record header out of bounds")
+        key_len = int.from_bytes(payload[position : position + 4], "big")
+        if position + 8 + key_len > body_size:
+            raise KVStoreError("v2 block key out of bounds")
+        value_len = int.from_bytes(
+            payload[position + 4 + key_len : position + 8 + key_len],
+            "big",
+        )
+        position += 8 + key_len + value_len
+    if position != body_size:
+        raise KVStoreError("v2 block records do not tile the payload")
+    return offsets
+
+
+def _decode_entries(payload: bytes) -> List[Tuple[bytes, bytes]]:
+    """Decode a block payload (v2 trailer or legacy v1 records).
+
+    Sniffs the trailer magic, but the magic is 4 arbitrary-looking
+    bytes that a legacy record's *value* can legitimately end with —
+    so a payload that looks v2 yet fails the strict offset validation
+    is retried as v1 before giving up. Contexts that know the format
+    (``Block.format``, the SST container version) decode directly and
+    never sniff.
+    """
+    if (
+        len(payload) >= _TRAILER_FIXED
+        and payload[-len(_BLOCK_MAGIC):] == _BLOCK_MAGIC
+    ):
+        try:
+            offsets = _parse_v2_offsets(payload)
+        except KVStoreError:
+            return [
+                _record_at(payload, offset)
+                for offset in _scan_v1_offsets(payload)
+            ]
+        return [_record_at(payload, offset) for offset in offsets]
+    entries: List[Tuple[bytes, bytes]] = []
+    for offset in _scan_v1_offsets(payload):
+        entries.append(_record_at(payload, offset))
     return entries
+
+
+def _key_at(payload: bytes, offset: int) -> bytes:
+    key_len = int.from_bytes(payload[offset : offset + 4], "big")
+    return payload[offset + 4 : offset + 4 + key_len]
+
+
+def _record_at(payload: bytes, offset: int) -> Tuple[bytes, bytes]:
+    key_len = int.from_bytes(payload[offset : offset + 4], "big")
+    offset += 4
+    key = payload[offset : offset + key_len]
+    offset += key_len
+    value_len = int.from_bytes(payload[offset : offset + 4], "big")
+    offset += 4
+    return key, payload[offset : offset + value_len]
 
 
 @dataclass(frozen=True)
 class Block:
-    """One immutable data block: an encoded, sorted run of entries."""
+    """One immutable data block: an encoded, sorted run of entries.
+
+    ``format`` names the payload encoding (2 = offset-index trailer,
+    1 = legacy records-only); it travels with the block, so cached
+    blocks served across files decode by their *own* format. The
+    offset view is parsed lazily and memoized — repeated ``get`` calls
+    and ``entries_from`` seeks reuse it.
+    """
 
     payload: bytes
     first_key: bytes
@@ -91,19 +227,85 @@ class Block:
     #: Ground-truth owner (SST fingerprint) for the corruption auditor.
     owner_fingerprint: int
     block_no: int
+    format: int = 2
+    _offsets: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def offsets(self) -> Tuple[int, ...]:
+        """Record start offsets (parsed once, then memoized)."""
+        cached = self._offsets
+        if cached is None:
+            parse = _parse_v2_offsets if self.format == 2 else _scan_v1_offsets
+            cached = tuple(parse(self.payload))
+            object.__setattr__(self, "_offsets", cached)
+        return cached
+
+    def _install_offsets(self, offsets: Sequence[int]) -> None:
+        """Builder fast path: offsets known at encode time."""
+        object.__setattr__(self, "_offsets", tuple(offsets))
+
+    @property
+    def entry_count(self) -> int:
+        """Number of records, without decoding them."""
+        return len(self.offsets())
+
+    @property
+    def body_size(self) -> int:
+        """Bytes of the record region (payload minus any trailer)."""
+        if self.format == 1:
+            return len(self.payload)
+        offsets = self.offsets()
+        return len(self.payload) - _TRAILER_FIXED - 4 * len(offsets)
 
     def entries(self) -> List[Tuple[bytes, bytes]]:
         """Decode the block's (key, value) pairs."""
-        return _decode_entries(self.payload)
+        payload = self.payload
+        return [_record_at(payload, offset) for offset in self.offsets()]
+
+    def key_at(self, index: int) -> bytes:
+        """The key of record ``index`` (slices only the key bytes)."""
+        return _key_at(self.payload, self.offsets()[index])
+
+    def _bisect_left(self, key: bytes) -> int:
+        """First record index whose key is >= ``key``."""
+        offsets = self.offsets()
+        payload = self.payload
+        from_bytes = int.from_bytes
+        lo, hi = 0, len(offsets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            off = offsets[mid]
+            key_len = from_bytes(payload[off : off + 4], "big")
+            if payload[off + 4 : off + 4 + key_len] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
 
     def get(self, key: bytes) -> Optional[bytes]:
-        """Binary-search the block for ``key``."""
-        entries = self.entries()
-        keys = [k for k, _ in entries]
-        index = bisect.bisect_left(keys, key)
-        if index < len(entries) and keys[index] == key:
-            return entries[index][1]
-        return None
+        """Binary-search the offset index; slice out only the match."""
+        offsets = self.offsets()
+        index = self._bisect_left(key)
+        if index >= len(offsets):
+            return None
+        payload = self.payload
+        offset = offsets[index]
+        key_len = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        if payload[offset : offset + key_len] != key:
+            return None
+        offset += key_len
+        value_len = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        return payload[offset : offset + value_len]
+
+    def entries_from(self, start: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Records with key >= ``start``, positioned by offset bisect."""
+        offsets = self.offsets()
+        payload = self.payload
+        for index in range(self._bisect_left(start), len(offsets)):
+            yield _record_at(payload, offsets[index])
 
 
 class SSTable:
@@ -122,6 +324,7 @@ class SSTable:
         fingerprint: int,
         entry_count: int,
         bloom_bits_per_key: int = 0,
+        live_entries: Optional[int] = None,
     ):
         self.file_id = file_id
         self.blocks = blocks
@@ -130,6 +333,18 @@ class SSTable:
         self.fingerprint = fingerprint
         self.entry_count = entry_count
         self.bloom_bits_per_key = bloom_bits_per_key
+        #: Key range as plain attributes — ``key_in_range`` runs once
+        #: per live file per point lookup, and the blocks (hence the
+        #: range) never change after construction.
+        self.min_key = blocks[0].first_key if blocks else b""
+        self.max_key = blocks[-1].last_key if blocks else b""
+        #: Non-tombstone entries, fixed at build time (the file is
+        #: immutable) so size queries never decode blocks.
+        if live_entries is None:
+            live_entries = sum(
+                1 for _, v in self.iter_entries() if v != TOMBSTONE
+            )
+        self.live_entries = live_entries
 
     @classmethod
     def from_entries(
@@ -142,25 +357,35 @@ class SSTable:
         """Build an SST from a sorted, de-duplicated entry sequence."""
         if not entries:
             raise KVStoreError("cannot build an empty SSTable")
-        for (k1, _), (k2, _) in zip(entries, entries[1:]):
-            if k1 >= k2:
+        live = 0
+        previous: Optional[bytes] = None
+        for key, value in entries:
+            if previous is not None and previous >= key:
                 raise KVStoreError(
-                    f"entries must be strictly ascending: {k1!r} >= {k2!r}"
+                    f"entries must be strictly ascending: "
+                    f"{previous!r} >= {key!r}"
                 )
+            previous = key
+            if value != TOMBSTONE:
+                live += 1
         fingerprint = next(_fingerprint_counter)
         blocks: List[Block] = []
         index_keys: List[bytes] = []
         for block_no, start in enumerate(range(0, len(entries), block_entries)):
             chunk = list(entries[start : start + block_entries])
-            blocks.append(
-                Block(
-                    payload=_encode_entries(chunk),
-                    first_key=chunk[0][0],
-                    last_key=chunk[-1][0],
-                    owner_fingerprint=fingerprint,
-                    block_no=block_no,
-                )
+            parts, offsets = _encode_records(chunk)
+            parts.append(struct.pack(f">{len(offsets)}I", *offsets))
+            parts.append(len(offsets).to_bytes(4, "big"))
+            parts.append(_BLOCK_MAGIC)
+            block = Block(
+                payload=b"".join(parts),
+                first_key=chunk[0][0],
+                last_key=chunk[-1][0],
+                owner_fingerprint=fingerprint,
+                block_no=block_no,
             )
+            block._install_offsets(offsets)
+            blocks.append(block)
             index_keys.append(chunk[-1][0])
         bloom = None
         if bloom_bits_per_key > 0:
@@ -174,46 +399,172 @@ class SSTable:
             fingerprint=fingerprint,
             entry_count=len(entries),
             bloom_bits_per_key=bloom_bits_per_key,
+            live_entries=live,
         )
 
     # -- durable round-trip --------------------------------------------------
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, format_version: int = 2) -> bytes:
         """Serialize for durable storage, preserving identity.
 
         Both the uncoordinated ``file_id`` *and* the ground-truth
         ``fingerprint`` survive the round-trip — a reloaded SST must
         keep claiming its original cache blocks, or every reopen would
         manufacture false cache-corruption signals.
+
+        Version 2 (default) persists the bloom filter's bit array and
+        the build-time live-entry count, so reopening neither re-hashes
+        every key nor decodes any block. ``format_version=1`` writes
+        the legacy layout (records-only blocks, no bloom) — kept for
+        compatibility tests and the reopen-cost benchmark.
         """
+        if format_version not in (1, 2):
+            raise KVStoreError(
+                f"unknown SST format version {format_version!r}"
+            )
         id_bytes = self.file_id.to_bytes(
             max(1, (self.file_id.bit_length() + 7) // 8), "big"
         )
-        parts: List[bytes] = [
-            _SST_MAGIC,
+        if format_version == 1:
+            parts: List[bytes] = [
+                _SST_MAGIC_V1,
+                self.fingerprint.to_bytes(8, "big"),
+                len(id_bytes).to_bytes(2, "big"),
+                id_bytes,
+                self.bloom_bits_per_key.to_bytes(4, "big"),
+                len(self.blocks).to_bytes(4, "big"),
+            ]
+            for block in self.blocks:
+                body = block.payload[: block.body_size]
+                parts.append(len(body).to_bytes(4, "big"))
+                parts.append(body)
+            return b"".join(parts)
+        bloom_bytes = b"" if self.bloom is None else self.bloom.to_bytes()
+        parts = [
+            _SST_MAGIC_V2,
             self.fingerprint.to_bytes(8, "big"),
             len(id_bytes).to_bytes(2, "big"),
             id_bytes,
             self.bloom_bits_per_key.to_bytes(4, "big"),
+            self.live_entries.to_bytes(8, "big"),
+            len(bloom_bytes).to_bytes(4, "big"),
+            bloom_bytes,
             len(self.blocks).to_bytes(4, "big"),
         ]
         for block in self.blocks:
-            parts.append(len(block.payload).to_bytes(4, "big"))
-            parts.append(block.payload)
+            if block.format != 2:
+                # Reloaded v1 blocks upgrade on the way out: append the
+                # trailer so the persisted file is uniformly v2.
+                payload = _encode_entries(block.entries())
+            else:
+                payload = block.payload
+            parts.append(len(payload).to_bytes(4, "big"))
+            parts.append(payload)
         return b"".join(parts)
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "SSTable":
-        """Inverse of :meth:`to_bytes`.
+        """Inverse of :meth:`to_bytes` (either format version).
 
         Blocks are rebuilt on their original boundaries (cache
-        granularity is part of the file, not the reader) and the bloom
-        filter is reconstructed from the decoded keys.
+        granularity is part of the file, not the reader). A v2 file
+        reopens decode-free: the bloom filter deserializes from its
+        bit array, the live-entry count comes from the header, and
+        per-block bookkeeping (first/last key, entry count) needs only
+        the validated offset table. A v1 file decodes every block and
+        re-hashes every key, exactly as it always did.
         """
-        size = len(payload)
-        if payload[: len(_SST_MAGIC)] != _SST_MAGIC:
+        magic = payload[: len(_SST_MAGIC_V2)]
+        if magic == _SST_MAGIC_V1:
+            return cls._from_bytes_v1(payload)
+        if magic != _SST_MAGIC_V2:
             raise KVStoreError("bad SST magic/version")
-        offset = len(_SST_MAGIC)
+        size = len(payload)
+        offset = len(_SST_MAGIC_V2)
+        if offset + 10 > size:
+            raise KVStoreError("truncated SST header")
+        fingerprint = int.from_bytes(payload[offset : offset + 8], "big")
+        offset += 8
+        id_len = int.from_bytes(payload[offset : offset + 2], "big")
+        offset += 2
+        if id_len > size - offset:
+            raise KVStoreError("SST file_id length exceeds payload")
+        file_id = int.from_bytes(payload[offset : offset + id_len], "big")
+        offset += id_len
+        if offset + 16 > size:
+            raise KVStoreError("truncated SST header")
+        bloom_bits_per_key = int.from_bytes(
+            payload[offset : offset + 4], "big"
+        )
+        offset += 4
+        live_entries = int.from_bytes(payload[offset : offset + 8], "big")
+        offset += 8
+        bloom_len = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        if bloom_len > size - offset:
+            raise KVStoreError("SST bloom length exceeds payload")
+        bloom = None
+        if bloom_len:
+            bloom = BloomFilter.from_bytes(
+                payload[offset : offset + bloom_len]
+            )
+        offset += bloom_len
+        if offset + 4 > size:
+            raise KVStoreError("truncated SST block count")
+        num_blocks = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        if num_blocks == 0:
+            raise KVStoreError("SST with no blocks")
+        blocks: List[Block] = []
+        index_keys: List[bytes] = []
+        entry_count = 0
+        for block_no in range(num_blocks):
+            if offset + 4 > size:
+                raise KVStoreError("truncated SST block length")
+            block_len = int.from_bytes(payload[offset : offset + 4], "big")
+            offset += 4
+            if block_len > size - offset:
+                raise KVStoreError("SST block length exceeds payload")
+            body = payload[offset : offset + block_len]
+            offset += block_len
+            block = Block(
+                payload=body,
+                first_key=b"",
+                last_key=b"",
+                owner_fingerprint=fingerprint,
+                block_no=block_no,
+            )
+            offsets = block.offsets()  # parses + validates the trailer
+            if not offsets:
+                raise KVStoreError("empty SST block")
+            object.__setattr__(block, "first_key", _key_at(body, offsets[0]))
+            object.__setattr__(block, "last_key", _key_at(body, offsets[-1]))
+            blocks.append(block)
+            index_keys.append(block.last_key)
+            entry_count += len(offsets)
+        if offset != size:
+            raise KVStoreError("trailing bytes after SST blocks")
+        if live_entries > entry_count:
+            raise KVStoreError(
+                f"SST live-entry count {live_entries} exceeds "
+                f"entry count {entry_count}"
+            )
+        return cls(
+            file_id=file_id,
+            blocks=blocks,
+            index_keys=index_keys,
+            bloom=bloom,
+            fingerprint=fingerprint,
+            entry_count=entry_count,
+            bloom_bits_per_key=bloom_bits_per_key,
+            live_entries=live_entries,
+        )
+
+    @classmethod
+    def _from_bytes_v1(cls, payload: bytes) -> "SSTable":
+        """Legacy (pre-PR-8) loader: full decode + bloom rebuild."""
+        size = len(payload)
+        offset = len(_SST_MAGIC_V1)
         if offset + 14 > size:
             raise KVStoreError("truncated SST header")
         fingerprint = int.from_bytes(payload[offset : offset + 8], "big")
@@ -247,7 +598,13 @@ class SSTable:
                 raise KVStoreError("SST block length exceeds payload")
             body = payload[offset : offset + block_len]
             offset += block_len
-            entries = _decode_entries(body)
+            # v1 container ⇒ records-only bodies: decode explicitly
+            # (no trailer sniffing — a value ending with the magic
+            # bytes must not derail a legacy file).
+            entries = [
+                _record_at(body, record_off)
+                for record_off in _scan_v1_offsets(body)
+            ]
             if not entries:
                 raise KVStoreError("empty SST block")
             blocks.append(
@@ -257,6 +614,7 @@ class SSTable:
                     last_key=entries[-1][0],
                     owner_fingerprint=fingerprint,
                     block_no=block_no,
+                    format=1,
                 )
             )
             index_keys.append(entries[-1][0])
@@ -277,14 +635,6 @@ class SSTable:
             entry_count=entry_count,
             bloom_bits_per_key=bloom_bits_per_key,
         )
-
-    @property
-    def min_key(self) -> bytes:
-        return self.blocks[0].first_key
-
-    @property
-    def max_key(self) -> bytes:
-        return self.blocks[-1].last_key
 
     def key_in_range(self, key: bytes) -> bool:
         """Does ``key`` fall inside this file's [min_key, max_key]?"""
@@ -318,17 +668,25 @@ class SSTable:
     def iter_entries_from(self, start: bytes) -> Iterator[Tuple[bytes, bytes]]:
         """Entries with key >= ``start`` in key order (tombstones
         included). Positions by block-index bisect plus an in-block
-        bisect, so a seeked scan decodes only the blocks it reads."""
+        offset bisect, so a seeked scan touches only the records it
+        reads — no block is fully decoded to find the start."""
         block_index = bisect.bisect_left(self._index_keys, start)
         for block in self.blocks[block_index:]:
-            entries = block.entries()
-            if entries and entries[0][0] < start:
-                keys = [key for key, _ in entries]
-                entries = entries[bisect.bisect_left(keys, start):]
-            yield from entries
+            if block.first_key >= start:
+                yield from block.entries()
+            else:
+                yield from block.entries_from(start)
 
     def live_entry_count(self) -> int:
-        """Entries that are not tombstones."""
+        """Entries that are not tombstones (fixed at build time)."""
+        return self.live_entries
+
+    def audit_live_entry_count(self) -> int:
+        """Recount live entries by decoding every block.
+
+        The debug path behind :meth:`live_entry_count`'s stored answer
+        — tests assert the two agree; production reads never pay it.
+        """
         return sum(1 for _, v in self.iter_entries() if v != TOMBSTONE)
 
     def __repr__(self) -> str:
