@@ -640,6 +640,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if passed == len(results) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the devtools package is only needed for this
+    # subcommand and pulls in the whole rule registry.
+    from repro.devtools import LintEngine, render
+
+    engine = LintEngine()
+    report = engine.lint_paths(args.paths or ["src"])
+    print(render(report, args.format))
+    return report.exit_code
+
+
 def _add_plan_options(parser: argparse.ArgumentParser) -> None:
     """The SimulationPlan knobs shared by every estimating subcommand."""
     parser.add_argument(
@@ -878,6 +889,23 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=20230414)
     _add_plan_options(rep)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific REPRO static-analysis rules",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+
     return parser
 
 
@@ -892,6 +920,7 @@ _HANDLERS = {
     "worst": _cmd_worst,
     "compare": _cmd_compare,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 

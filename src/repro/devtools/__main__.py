@@ -1,0 +1,6 @@
+"""``python -m repro.devtools`` — run the lint engine."""
+
+from repro.devtools import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

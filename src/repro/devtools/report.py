@@ -1,0 +1,97 @@
+"""Text and JSON reporters for :class:`~repro.devtools.engine.LintReport`.
+
+The JSON schema (version 1) is the CI artifact contract::
+
+    {
+      "version": 1,
+      "files_checked": 42,
+      "findings": [
+        {"rule": "REPRO201", "path": "...", "line": 10, "col": 4,
+         "message": "..."},
+        ...
+      ],
+      "suppressed": [ ...same shape... ],
+      "counts": {"REPRO201": 3, ...}
+    }
+
+Fields are append-only: consumers may rely on the keys above existing
+in every version-1 payload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.devtools.engine import LintReport
+from repro.devtools.registry import Finding, all_rules
+from repro.errors import LintError
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _finding_dict(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+
+
+def render_text(report: LintReport) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message}"
+        )
+    if report.findings:
+        lines.append("")
+        counts = report.counts()
+        summary = ", ".join(
+            f"{code}={counts[code]}" for code in sorted(counts)
+        )
+        lines.append(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_checked} file(s) [{summary}]"
+        )
+    else:
+        lines.append(
+            f"clean: 0 findings in {report.files_checked} file(s) "
+            f"({len(all_rules())} rules)"
+        )
+    if report.suppressed:
+        lines.append(
+            f"({len(report.suppressed)} finding(s) silenced by "
+            "justified suppressions)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": report.files_checked,
+        "findings": [_finding_dict(f) for f in report.findings],
+        "suppressed": [_finding_dict(f) for f in report.suppressed],
+        "counts": report.counts(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+}
+
+
+def render(report: LintReport, fmt: str) -> str:
+    try:
+        renderer = _RENDERERS[fmt]
+    except KeyError:
+        raise LintError(
+            f"unknown report format {fmt!r}; expected one of "
+            + ", ".join(sorted(_RENDERERS))
+        ) from None
+    return renderer(report)

@@ -1,0 +1,251 @@
+"""REPRO1xx: determinism rules.
+
+The library's core contract is bit-identical replay: same seed, same
+result, at any ``workers=`` split, with fingerprints comparable across
+processes and machines. These rules ban the entry points that break it:
+
+* **REPRO101** — module-level ``random.*`` calls (the global
+  Mersenne-Twister is shared mutable state; use
+  ``repro.simulation.seeds.derive_seed``/``rng_for`` or an injected
+  ``random.Random``). Constructing ``random.Random(seed)`` is the
+  sanctioned form and never flagged.
+* **REPRO102** — builtin ``hash()`` (PYTHONHASHSEED-salted for str and
+  bytes; exactly the PR-1 routing bug. Use BLAKE2b or the fingerprint
+  helpers).
+* **REPRO103** — wall-clock reads: ``time.time``/``time_ns``,
+  ``datetime.now``/``utcnow``/``today``, ``date.today``.
+  ``time.perf_counter``/``monotonic`` (durations, bench code) are
+  sanctioned and not flagged.
+* **REPRO104** — iteration over unordered sets: ``for x in {...}``,
+  comprehensions over set displays or ``set()``/``frozenset()`` calls,
+  and ``list(set(...))``/``tuple(set(...))``. ``sorted(set(...))`` is
+  the sanctioned form.
+* **REPRO105** — OS entropy: ``os.urandom``, ``uuid.uuid1``/
+  ``uuid.uuid4``, any ``secrets.*`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.engine import ModuleUnit, ProjectContext
+from repro.devtools.registry import Finding, Rule, register
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Dotted name of an attribute chain, e.g. ``datetime.datetime.now``
+    (empty string when the chain contains calls or subscripts)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register
+class GlobalRandomRule(Rule):
+    code = "REPRO101"
+    name = "global-random"
+    family = "REPRO1"
+    summary = (
+        "no module-level random.* calls; inject random.Random via "
+        "derive_seed/rng_for"
+    )
+
+    #: Constructors of seedable generator objects are the sanctioned
+    #: path; everything else on the module is the shared global RNG.
+    _SANCTIONED = {"Random", "SystemRandom"}
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in self._SANCTIONED
+            ):
+                yield self.finding(
+                    unit.path,
+                    node,
+                    f"module-level random.{func.attr}() uses the shared "
+                    "global RNG; inject a random.Random seeded via "
+                    "derive_seed/rng_for instead",
+                )
+
+
+@register
+class BuiltinHashRule(Rule):
+    code = "REPRO102"
+    name = "builtin-hash"
+    family = "REPRO1"
+    summary = (
+        "no builtin hash(): PYTHONHASHSEED-salted for str/bytes; use "
+        "BLAKE2b/fingerprint helpers"
+    )
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield self.finding(
+                    unit.path,
+                    node,
+                    "builtin hash() is PYTHONHASHSEED-salted for "
+                    "str/bytes and not stable across processes; use "
+                    "hashlib.blake2b or the fingerprint helpers",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    code = "REPRO103"
+    name = "wall-clock"
+    family = "REPRO1"
+    summary = (
+        "no wall-clock reads (time.time, datetime.now); perf_counter/"
+        "monotonic for durations are sanctioned"
+    )
+
+    _BANNED_TIME = {"time", "time_ns"}
+    _BANNED_DATETIME = {"now", "utcnow", "today"}
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if not chain:
+                continue
+            parts = chain.split(".")
+            root, leaf = parts[0], parts[-1]
+            if root == "time" and leaf in self._BANNED_TIME:
+                yield self.finding(
+                    unit.path,
+                    node,
+                    f"wall-clock {chain}() breaks replay; use "
+                    "time.perf_counter for durations or thread a "
+                    "logical clock through the caller",
+                )
+            elif (
+                root in ("datetime", "date")
+                and leaf in self._BANNED_DATETIME
+            ):
+                yield self.finding(
+                    unit.path,
+                    node,
+                    f"wall-clock {chain}() breaks replay; pass "
+                    "timestamps in from the caller",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    code = "REPRO104"
+    name = "set-iteration"
+    family = "REPRO1"
+    summary = (
+        "no iteration over unordered sets; sorted(set(...)) is the "
+        "sanctioned form"
+    )
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self.finding(
+                        unit.path,
+                        node.iter,
+                        "iterating a set yields PYTHONHASHSEED-"
+                        "dependent order; wrap in sorted(...)",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield self.finding(
+                            unit.path,
+                            comp.iter,
+                            "comprehension over a set yields "
+                            "PYTHONHASHSEED-dependent order; wrap in "
+                            "sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple")
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        unit.path,
+                        node,
+                        f"{func.id}(set(...)) materializes "
+                        "PYTHONHASHSEED-dependent order; use "
+                        "sorted(set(...))",
+                    )
+
+
+@register
+class OSEntropyRule(Rule):
+    code = "REPRO105"
+    name = "os-entropy"
+    family = "REPRO1"
+    summary = (
+        "no OS entropy (os.urandom, uuid.uuid1/uuid4, secrets.*) in "
+        "deterministic modules"
+    )
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain == "os.urandom":
+                yield self.finding(
+                    unit.path, node,
+                    "os.urandom() is OS entropy; derive bytes from a "
+                    "seeded rng instead",
+                )
+            elif chain in ("uuid.uuid1", "uuid.uuid4"):
+                yield self.finding(
+                    unit.path, node,
+                    f"{chain}() is nondeterministic; derive IDs from "
+                    "the seeded generator stack",
+                )
+            elif chain.startswith("secrets."):
+                yield self.finding(
+                    unit.path, node,
+                    f"{chain}() draws OS entropy; deterministic "
+                    "modules must use seeded rngs",
+                )

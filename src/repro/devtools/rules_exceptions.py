@@ -1,0 +1,187 @@
+"""REPRO4xx: exception discipline.
+
+Recovery and serving paths must not make failures invisible. A broad
+catch is fine when the handler *accounts for* the failure; it is a bug
+factory when it silently eats it:
+
+* **REPRO401** — a bare ``except:`` or ``except Exception:``/
+  ``except BaseException:`` handler whose body neither re-raises, nor
+  references the bound exception, nor calls a warn/log-style function
+  (``warn``, ``warning``, ``error``, ``exception``, ``critical``,
+  ``log``). Narrow the type, or record the failure on the relevant
+  stats/report counter.
+* **REPRO402** — ``contextlib.suppress(Exception)`` (or
+  ``BaseException``) outside best-effort teardown. Sanctioned inside
+  functions whose name matches the policy's cleanup pattern
+  (``close``/``stop``/``shutdown``/...) and inside ``finally`` blocks;
+  anywhere else it silences real failures.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.engine import ModuleUnit, ProjectContext
+from repro.devtools.registry import Finding, Rule, register
+
+_LOGGISH = {"warn", "warning", "error", "exception", "critical", "log"}
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types: List[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+    return False
+
+
+def _handler_accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                bound is not None
+                and isinstance(node, ast.Name)
+                and node.id == bound
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else ""
+                )
+                if name in _LOGGISH:
+                    return True
+    return False
+
+
+@register
+class BroadExceptSwallowRule(Rule):
+    code = "REPRO401"
+    name = "broad-except-swallow"
+    family = "REPRO4"
+    summary = (
+        "no bare/except Exception: that swallows without re-raise, "
+        "using the exception, or logging"
+    )
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad_handler(node) and not (
+                _handler_accounts_for_failure(node)
+            ):
+                if node.type is None:
+                    caught = "bare 'except:'"
+                else:
+                    segment = ast.get_source_segment(
+                        unit.source, node.type
+                    )
+                    caught = (
+                        f"'except {segment}:'"
+                        if segment
+                        else "broad except"
+                    )
+                yield self.finding(
+                    unit.path,
+                    node,
+                    f"{caught} swallows the failure: re-raise, narrow "
+                    "the exception type, or record it (log call or "
+                    "stats counter)",
+                )
+
+
+def _suppress_is_broad(call: ast.Call) -> bool:
+    func = call.func
+    name = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id if isinstance(func, ast.Name) else ""
+    )
+    if name != "suppress":
+        return False
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id in _BROAD:
+            return True
+    return False
+
+
+@register
+class BroadSuppressRule(Rule):
+    code = "REPRO402"
+    name = "broad-suppress"
+    family = "REPRO4"
+    summary = (
+        "contextlib.suppress(Exception) only in cleanup/teardown "
+        "functions or finally blocks"
+    )
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        cleanup = re.compile(context.policy.cleanup_function_pattern)
+        flagged: List[Tuple[ast.Call, Optional[str]]] = []
+
+        # Recursive walk tracking (a) the innermost function name,
+        # (b) whether ANY enclosing function is cleanup-named, and
+        # (c) whether we are inside a `finally` block.
+        def visit(
+            node: ast.AST,
+            func_name: Optional[str],
+            in_cleanup: bool,
+            in_finally: bool,
+        ) -> None:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                nested_cleanup = in_cleanup or bool(
+                    cleanup.search(node.name)
+                )
+                for child in ast.iter_child_nodes(node):
+                    visit(child, node.name, nested_cleanup, in_finally)
+                return
+            if isinstance(node, ast.Try):
+                for child in node.body + node.orelse:
+                    visit(child, func_name, in_cleanup, in_finally)
+                for handler in node.handlers:
+                    visit(handler, func_name, in_cleanup, in_finally)
+                for child in node.finalbody:
+                    visit(child, func_name, in_cleanup, True)
+                return
+            if (
+                isinstance(node, ast.Call)
+                and _suppress_is_broad(node)
+                and not (in_cleanup or in_finally)
+            ):
+                flagged.append((node, func_name))
+            for child in ast.iter_child_nodes(node):
+                visit(child, func_name, in_cleanup, in_finally)
+
+        visit(unit.tree, None, False, False)
+        for call, func_name in flagged:
+            where = (
+                f"in {func_name}()" if func_name else "at module scope"
+            )
+            yield self.finding(
+                unit.path,
+                call,
+                f"contextlib.suppress(Exception) {where} hides real "
+                "failures; narrow the exception type, or move the "
+                "suppression into a cleanup/teardown path",
+            )

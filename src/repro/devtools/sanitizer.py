@@ -1,0 +1,127 @@
+"""Runtime determinism sanitizer.
+
+The static REPRO1xx rules catch nondeterminism the AST can see; this
+module catches what it cannot (dynamic dispatch, third-party helpers,
+getattr tricks) by patching the banned entry points at runtime:
+module-level ``random.*``, ``time.time``/``time_ns``, ``os.urandom``,
+``uuid.uuid1``/``uuid4``, and builtin ``hash``.
+
+Each wrapper inspects its *caller's* frame: a call originating from a
+file under the ``repro`` package raises
+:class:`~repro.errors.DeterminismViolation` at the call site —
+pointing at the exact offending line instead of flaking three suites
+downstream — while calls from anywhere else (pytest, hypothesis,
+stdlib internals, test code itself) pass straight through to the
+original. The sanctioned forms are untouched: constructing
+``random.Random(seed)`` via ``derive_seed``/``rng_for``, and
+``time.perf_counter``/``monotonic`` for durations.
+
+Usage::
+
+    with determinism_sanitizer():
+        run_plan(...)          # repro code tripping time.time() raises
+
+or via the autouse pytest fixture in ``tests/conftest.py``, which
+activates it for every ``plan``-marked test (opt out with
+``REPRO_SANITIZE=0``).
+"""
+
+from __future__ import annotations
+
+import builtins
+import contextlib
+import os
+import random
+import sys
+import time
+import uuid
+from typing import Any, Callable, Iterator, List, Tuple
+
+import repro
+from repro.errors import DeterminismViolation
+
+#: Directory of the repro package — calls whose caller file lives under
+#: here are held to the determinism contract.
+_REPRO_ROOT = os.path.dirname(os.path.abspath(repro.__file__)) + os.sep
+#: ... except the devtools package itself (the police are exempt).
+_DEVTOOLS_ROOT = os.path.join(_REPRO_ROOT, "devtools") + os.sep
+
+#: (module, attribute) pairs the sanitizer replaces. Missing names
+#: (e.g. ``random.randbytes`` on old interpreters) are skipped.
+_PATCH_TARGETS: Tuple[Tuple[Any, str], ...] = (
+    (time, "time"),
+    (time, "time_ns"),
+    (os, "urandom"),
+    (uuid, "uuid1"),
+    (uuid, "uuid4"),
+    (builtins, "hash"),
+    (random, "random"),
+    (random, "randrange"),
+    (random, "randint"),
+    (random, "choice"),
+    (random, "choices"),
+    (random, "shuffle"),
+    (random, "sample"),
+    (random, "uniform"),
+    (random, "getrandbits"),
+    (random, "gauss"),
+    (random, "randbytes"),
+)
+
+
+def _caller_is_repro_library() -> bool:
+    frame = sys._getframe(2)
+    filename = frame.f_code.co_filename
+    return filename.startswith(_REPRO_ROOT) and not filename.startswith(
+        _DEVTOOLS_ROOT
+    )
+
+
+def _make_guard(label: str, original: Callable[..., Any]) -> Callable[..., Any]:
+    def guard(*args: Any, **kwargs: Any) -> Any:
+        if _caller_is_repro_library():
+            caller = sys._getframe(1)
+            raise DeterminismViolation(
+                f"{label}() called from "
+                f"{caller.f_code.co_filename}:{caller.f_lineno} — "
+                "unsanctioned nondeterminism in a deterministic code "
+                "path; use a seeded random.Random (derive_seed/"
+                "rng_for), time.perf_counter for durations, or the "
+                "fingerprint helpers instead of builtin hash()"
+            )
+        return original(*args, **kwargs)
+
+    guard.__repro_sanitized__ = True  # type: ignore[attr-defined]
+    guard.__wrapped__ = original  # type: ignore[attr-defined]
+    guard.__name__ = getattr(original, "__name__", label.split(".")[-1])
+    return guard
+
+
+def sanitizer_active() -> bool:
+    """Is the determinism sanitizer currently installed?"""
+    return getattr(time.time, "__repro_sanitized__", False)
+
+
+@contextlib.contextmanager
+def determinism_sanitizer() -> Iterator[None]:
+    """Patch the banned entry points for the duration of the block.
+
+    Re-entrant: an inner activation over an already-patched entry
+    leaves the existing wrapper in place (no double wrapping), and
+    restoration happens in strict reverse order.
+    """
+    patched: List[Tuple[Any, str, Any]] = []
+    try:
+        for module, attr in _PATCH_TARGETS:
+            original = getattr(module, attr, None)
+            if original is None or getattr(
+                original, "__repro_sanitized__", False
+            ):
+                continue
+            label = f"{getattr(module, '__name__', module)}.{attr}"
+            setattr(module, attr, _make_guard(label, original))
+            patched.append((module, attr, original))
+        yield
+    finally:
+        for module, attr, original in reversed(patched):
+            setattr(module, attr, original)

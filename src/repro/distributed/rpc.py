@@ -73,6 +73,7 @@ from repro.distributed.protocol import (
 from repro.errors import (
     ClusterUnavailableError,
     ConfigurationError,
+    ReproError,
     RPCConnectionError,
     RPCError,
     RPCProtocolError,
@@ -225,7 +226,7 @@ class RPCServer:
             # effort, msg_id 0 — the frame it belongs to never fully
             # arrived) and close this connection only.
             self.protocol_errors += 1
-            with contextlib.suppress(Exception):
+            with contextlib.suppress(Exception):  # noqa: REPRO402 -- best-effort farewell on an already-counted protocol error; the peer may be gone
                 writer.write(
                     encode_frame(0, STATUS_PROTOCOL, str(exc).encode())
                 )
@@ -611,7 +612,11 @@ class NetworkTarget:
                 )
             )
             self._loop.run(self._client.attach(shard, shard_seed))
-        except Exception:
+        except (ReproError, OSError, RuntimeError):
+            # Everything connect/attach can raise: library errors
+            # (RPCConnectionError and friends), socket failures, and a
+            # loop that refused to start. Stop the thread, then let the
+            # caller see the original failure.
             self._loop.stop()
             raise
 
@@ -717,7 +722,9 @@ class ServerThread:
         self._loop = _LoopThread("uuidp-serve")
         try:
             self._loop.run(self.server.start(host, port))
-        except Exception:
+        except (ReproError, OSError, RuntimeError):
+            # Bind/listen failures (port in use, bad host) and loop
+            # startup errors; stop the thread and re-raise.
             self._loop.stop()
             raise
         self.address: Tuple[str, int] = self._loop.run(

@@ -114,6 +114,30 @@ class RPCConnectionError(ClusterUnavailableError):
     """
 
 
+class LintError(ReproError):
+    """The ``repro.devtools`` static-analysis engine was misused.
+
+    Raised for configuration problems of the engine itself (duplicate
+    rule codes, unknown reporters, unreadable targets) — *findings* in
+    linted code are data, not exceptions.
+    """
+
+
+class DeterminismViolation(ReproError):
+    """Unsanctioned nondeterminism reached a sanitized code path.
+
+    Raised at the call site by the runtime determinism sanitizer
+    (:mod:`repro.devtools.sanitizer`) when library code under
+    ``src/repro`` calls a wall-clock, global-RNG, or
+    PYTHONHASHSEED-sensitive entry point (``time.time``,
+    ``random.random``, builtin ``hash`` ...) while a determinism suite
+    is running. The sanctioned forms — injected
+    :class:`random.Random` instances via
+    :func:`repro.simulation.seeds.rng_for` / ``derive_seed``, and
+    ``time.perf_counter`` for durations — never trip it.
+    """
+
+
 class RPCTimeoutError(ClusterUnavailableError):
     """An RPC op exceeded its configured timeout.
 

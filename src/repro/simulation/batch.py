@@ -319,19 +319,28 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def _is_picklable(*objects: Any) -> bool:
+def _pickle_obstacle(*objects: Any) -> Optional[BaseException]:
+    """The exception pickling ``objects`` raises, or ``None`` if they
+    round-trip. The concrete exception is surfaced in the serial-
+    fallback warning so users see *why* their factory stayed serial."""
     try:
         pickle.dumps(objects)
-        return True
-    except Exception:
-        return False
+        return None
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError) as exc:
+        # The documented failure modes of pickle.dumps: closures and
+        # local classes (PicklingError/AttributeError), unsupported
+        # types (TypeError), recursive/invalid state (ValueError).
+        return exc
 
 
-def _warn_unpicklable(stacklevel: int = 3) -> None:
+def _warn_unpicklable(
+    obstacle: BaseException, stacklevel: int = 3
+) -> None:
     warnings.warn(
-        "factories are not picklable; running trials serially "
-        "(use SpecFactory / ObliviousFactory / AttackFactory for "
-        "cross-process execution)",
+        "factories are not picklable "
+        f"({type(obstacle).__name__}: {obstacle}); running trials "
+        "serially (use SpecFactory / ObliviousFactory / AttackFactory "
+        "for cross-process execution)",
         RuntimeWarning,
         stacklevel=stacklevel,
     )
@@ -409,11 +418,11 @@ def count_range(
     count = min(resolve_workers(workers), stop - start)
     # A caller-supplied executor proves picklability — skip re-probing
     # (a full pickle round-trip of both factories) on every round.
-    if count > 1 and executor is None and not _is_picklable(
-        factory, adversary_factory
-    ):
-        _warn_unpicklable()
-        count = 1
+    if count > 1 and executor is None:
+        obstacle = _pickle_obstacle(factory, adversary_factory)
+        if obstacle is not None:
+            _warn_unpicklable(obstacle)
+            count = 1
     if engine == "batched":
         batch = True
     payloads = [

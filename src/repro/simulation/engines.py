@@ -32,7 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Iterator
 
 from repro.simulation.batch import (
-    _is_picklable,
+    _pickle_obstacle,
     _warn_unpicklable,
     count_range,
     resolve_workers,
@@ -99,10 +99,13 @@ class _RangeEngine(Engine):
         # for a single slice so count_range never re-probes.
         workers = min(resolve_workers(plan.workers), stop - start)
         plan_workers = plan.workers
-        if workers > 1 and not _is_picklable(
-            task.factory, task.adversary_factory
-        ):
-            _warn_unpicklable(stacklevel=2)
+        obstacle = (
+            _pickle_obstacle(task.factory, task.adversary_factory)
+            if workers > 1
+            else None
+        )
+        if obstacle is not None:
+            _warn_unpicklable(obstacle, stacklevel=2)
             workers = 1
             plan_workers = None
         executor = None

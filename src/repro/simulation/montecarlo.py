@@ -40,7 +40,7 @@ from repro.adversary.base import Adversary
 from repro.adversary.profiles import DemandProfile
 from repro.simulation.batch import (
     ObliviousFactory,
-    _is_picklable,
+    _pickle_obstacle,
     _warn_unpicklable,
     resolve_workers,
 )
@@ -133,10 +133,13 @@ def estimate_collision_probability(
     # attribute to plan-layer internals). The engine re-probes once for
     # its own direct callers, but a downgraded plan (workers=None) is
     # never probed again, so the warning fires exactly once.
-    if resolve_workers(effective.workers) > 1 and not _is_picklable(
-        factory, adversary_factory
-    ):
-        _warn_unpicklable(stacklevel=_stacklevel)
+    obstacle = (
+        _pickle_obstacle(factory, adversary_factory)
+        if resolve_workers(effective.workers) > 1
+        else None
+    )
+    if obstacle is not None:
+        _warn_unpicklable(obstacle, stacklevel=_stacklevel)
         effective = effective.evolve(workers=None)
     task = TrialTask(
         factory=factory,

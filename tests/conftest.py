@@ -1,5 +1,6 @@
 """Shared fixtures for the test suite."""
 
+import os
 import random
 
 import pytest
@@ -19,3 +20,27 @@ def make_rng():
         return random.Random(seed)
 
     return factory
+
+
+@pytest.fixture(autouse=True)
+def _determinism_sanitizer_for_plan(request):
+    """Run every ``plan``-marked test under the determinism sanitizer.
+
+    The plan suites assert bit-identical results across worker splits;
+    the sanitizer (see ``repro.devtools.sanitizer``) makes any
+    unsanctioned nondeterminism — library code touching ``time.time``,
+    the global ``random`` module, builtin ``hash`` on strings, OS
+    entropy — raise ``DeterminismViolation`` at the offending call
+    instead of flaking an equality assertion downstream. Opt out with
+    ``REPRO_SANITIZE=0`` (e.g. while bisecting an unrelated failure).
+    """
+    if request.node.get_closest_marker("plan") is None:
+        yield
+        return
+    if os.environ.get("REPRO_SANITIZE", "1") == "0":
+        yield
+        return
+    from repro.devtools.sanitizer import determinism_sanitizer
+
+    with determinism_sanitizer():
+        yield

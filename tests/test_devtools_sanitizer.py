@@ -1,0 +1,173 @@
+"""The runtime determinism sanitizer: repro-library callers trip
+``DeterminismViolation`` at the call site, everyone else passes
+through, and everything is restored on exit."""
+
+import builtins
+import os
+import random
+import time
+import uuid
+
+import pytest
+
+import repro
+from repro.devtools.sanitizer import (
+    _REPRO_ROOT,
+    determinism_sanitizer,
+    sanitizer_active,
+)
+from repro.errors import DeterminismViolation
+
+
+def _call_as_repro_code(statements, fake_module="clockuser.py"):
+    """Exec ``statements`` under a filename inside the repro package,
+    so the sanitizer attributes the call to library code."""
+    fake_path = os.path.join(_REPRO_ROOT, "simulation", fake_module)
+    code = compile(statements, fake_path, "exec")
+    namespace = {}
+    exec(code, namespace)
+    return namespace
+
+
+BANNED_SNIPPETS = [
+    "import time\ntime.time()",
+    "import time\ntime.time_ns()",
+    "import random\nrandom.random()",
+    "import random\nrandom.randint(0, 10)",
+    "import random\nrandom.shuffle([1, 2, 3])",
+    "import os\nos.urandom(8)",
+    "import uuid\nuuid.uuid4()",
+    "import uuid\nuuid.uuid1()",
+    "hash('key')",
+]
+
+
+@pytest.mark.parametrize("snippet", BANNED_SNIPPETS)
+def test_repro_callers_raise_at_the_call_site(snippet):
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation) as excinfo:
+            _call_as_repro_code(snippet)
+    # The message points at the offending file/line, not downstream.
+    assert "clockuser.py" in str(excinfo.value)
+
+
+def test_non_repro_callers_pass_through():
+    with determinism_sanitizer():
+        assert time.time() > 0
+        assert time.time_ns() > 0
+        assert 0.0 <= random.random() < 1.0
+        assert len(os.urandom(4)) == 4
+        assert uuid.uuid4().version == 4
+        assert isinstance(hash("key"), int)
+
+
+def test_sanctioned_forms_survive_in_repro_code():
+    with determinism_sanitizer():
+        namespace = _call_as_repro_code(
+            "import random\n"
+            "import time\n"
+            "rng = random.Random(7)\n"
+            "draw = rng.random()\n"
+            "t0 = time.perf_counter()\n"
+            "tm = time.monotonic()\n"
+        )
+    assert 0.0 <= namespace["draw"] < 1.0
+    assert namespace["t0"] >= 0.0
+
+
+def test_library_simulation_runs_clean_under_sanitizer():
+    # The real seeded stack must never trip the sanitizer: a tiny
+    # Monte-Carlo estimate end to end.
+    from repro.adversary.profiles import DemandProfile
+    from repro.simulation import estimate_collision_probability
+    from repro.simulation.batch import ObliviousFactory, SpecFactory
+
+    with determinism_sanitizer():
+        estimate = estimate_collision_probability(
+            SpecFactory("cluster"),
+            1 << 16,
+            ObliviousFactory(DemandProfile([4, 4])),
+            trials=25,
+            seed=9,
+        )
+    assert 0.0 <= estimate.probability <= 1.0
+
+
+def test_everything_restored_after_exit():
+    originals = (
+        time.time,
+        time.time_ns,
+        random.random,
+        os.urandom,
+        uuid.uuid4,
+        builtins.hash,
+    )
+    with determinism_sanitizer():
+        assert sanitizer_active()
+        assert time.time is not originals[0]
+    assert not sanitizer_active()
+    assert (
+        time.time,
+        time.time_ns,
+        random.random,
+        os.urandom,
+        uuid.uuid4,
+        builtins.hash,
+    ) == originals
+
+
+def test_restores_even_when_the_body_raises():
+    original = time.time
+    with pytest.raises(RuntimeError):
+        with determinism_sanitizer():
+            raise RuntimeError("boom")
+    assert time.time is original
+
+
+def test_reentrant_activation_does_not_double_wrap():
+    with determinism_sanitizer():
+        wrapped = time.time
+        with determinism_sanitizer():
+            assert time.time is wrapped  # inner pass left it alone
+        assert time.time is wrapped  # inner exit didn't unwrap it
+        assert sanitizer_active()
+    assert not sanitizer_active()
+
+
+def test_wrappers_are_tagged():
+    with determinism_sanitizer():
+        assert getattr(time.time, "__repro_sanitized__", False)
+        assert getattr(random.random, "__repro_sanitized__", False)
+        assert time.time.__wrapped__ is not None
+
+
+def test_devtools_package_is_exempt():
+    # The police are exempt: a caller inside repro/devtools/ passes
+    # through (the sanitizer itself must be able to restore/report).
+    fake_path = os.path.join(_REPRO_ROOT, "devtools", "probe.py")
+    code = compile("import time\nstamp = time.time()", fake_path, "exec")
+    with determinism_sanitizer():
+        namespace = {}
+        exec(code, namespace)
+    assert namespace["stamp"] > 0
+
+
+@pytest.mark.plan
+def test_plan_marker_activates_the_fixture():
+    """The autouse conftest fixture turns the sanitizer on for every
+    plan-marked test (the CI plan lane sets REPRO_SANITIZE=1)."""
+    if os.environ.get("REPRO_SANITIZE", "1") == "0":
+        pytest.skip("sanitizer disabled via REPRO_SANITIZE=0")
+    assert sanitizer_active()
+    with pytest.raises(DeterminismViolation):
+        _call_as_repro_code("import time\ntime.time()")
+
+
+def test_unmarked_tests_run_without_the_fixture():
+    assert not sanitizer_active()
+
+
+def test_repro_package_root_points_at_the_real_package():
+    assert _REPRO_ROOT == os.path.dirname(
+        os.path.abspath(repro.__file__)
+    ) + os.sep
