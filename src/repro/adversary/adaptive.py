@@ -53,6 +53,7 @@ class AdaptiveAdversary(Adversary, abc.ABC):
         self.rng = rng if rng is not None else random.Random()
 
     def next_request(self, view: GameView) -> Optional[int]:
+        """Probe each instance once, then hand off to :meth:`exploit`."""
         if view.steps >= self.d:
             return None
         if view.num_instances < self.n:

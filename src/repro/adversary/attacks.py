@@ -66,6 +66,7 @@ class ClosestPairAttack(AdaptiveAdversary):
         self._target: Optional[int] = None
 
     def exploit(self, view: GameView) -> Optional[int]:
+        """Replay the trailing end of the closest pair every remaining step."""
         if self._target is None:
             trailing, _leading, _gap = closest_trailing_pair(view)
             self._target = trailing
@@ -106,6 +107,7 @@ class GreedyGapAttack(AdaptiveAdversary):
         return m  # no foreign IDs at all
 
     def exploit(self, view: GameView) -> Optional[int]:
+        """Drive the instance whose predicted next ID has the smallest gap."""
         self._ingest_new_events(view)
         m = view.m
         best_instance = 0
@@ -141,6 +143,7 @@ class RunSaturationAttack(AdaptiveAdversary):
         self._greedy = GreedyGapAttack(n, d)
 
     def exploit(self, view: GameView) -> Optional[int]:
+        """Equalize per-instance counts for a budgeted prefix, then go greedy."""
         spent_after_probe = view.steps - self.n
         if spent_after_probe < self._equalize_budget:
             counts = view.counts()

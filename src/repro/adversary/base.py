@@ -169,6 +169,7 @@ class ObliviousAdversary(Adversary):
         return schedule
 
     def next_request(self, view: GameView) -> Optional[int]:
+        """Next scheduled logical instance; ``None`` once the schedule is spent."""
         if self._cursor >= len(self._schedule):
             return None
         logical = self._schedule[self._cursor]

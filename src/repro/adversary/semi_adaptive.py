@@ -100,6 +100,7 @@ class FollowerAdversary(Adversary):
         self._cursor = 0
 
     def next_request(self, view: GameView) -> Optional[int]:
+        """Next step of the fixed sequence; may stop early on a collision."""
         if self._cursor >= len(self.sequence.steps):
             return None
         if view.collided:

@@ -27,6 +27,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -250,6 +251,54 @@ def _cmd_kv(args: argparse.Namespace) -> int:
             **extra,
         )
 
+    autoscaler_cfg = None
+    if args.autoscale or args.arrival != "static":
+        from repro.distributed.autoscaler import AutoscalerConfig
+        from repro.workloads.demand import make_arrival
+
+        if args.autoscale and args.target != "cluster":
+            raise ReproError(
+                "--autoscale needs --target cluster (membership "
+                "changes are in-process); --arrival alone still works "
+                "on any target as monitor-only SLO accounting"
+            )
+        knobs = {}
+        for name in (
+            "period", "amplitude", "flash_at", "flash_ticks",
+            "peak", "burst_prob", "burst_ticks",
+        ):
+            value = getattr(args, f"arrival_{name}")
+            if value is not None:
+                knobs[name] = value
+        min_nodes = (
+            args.min_nodes
+            if args.min_nodes is not None
+            else max(1, args.replication)
+        )
+        if args.autoscale:
+            if not min_nodes <= args.nodes <= args.max_nodes:
+                raise ReproError(
+                    f"--nodes {args.nodes} must start inside "
+                    f"[--min-nodes {min_nodes}, --max-nodes "
+                    f"{args.max_nodes}]"
+                )
+            if min_nodes < args.replication:
+                raise ReproError(
+                    f"--min-nodes {min_nodes} < --replication "
+                    f"{args.replication}: scale-down below RF would "
+                    "lose replicas (decommission refuses it)"
+                )
+        autoscaler_cfg = AutoscalerConfig(
+            arrival=make_arrival(args.arrival, args.arrival_rate, **knobs),
+            slo_p99_ms=args.slo_p99_ms,
+            min_nodes=min_nodes,
+            max_nodes=args.max_nodes,
+            node_capacity=args.node_capacity,
+            check_every=args.scale_check_every,
+            shed_after_ms=args.shed_after_ms,
+            enabled=args.autoscale,
+        )
+
     chaos = _parse_chaos(args)
     if args.kill_mode == "crash":
         if not durable:
@@ -346,6 +395,7 @@ def _cmd_kv(args: argparse.Namespace) -> int:
         seed=args.seed,
         rebalance_every=args.rebalance_every,
         chaos=chaos,
+        autoscaler=autoscaler_cfg,
     )
     result = WorkloadDriver(factory, config, collect=collect).run()
     if args.json:
@@ -432,6 +482,21 @@ def _cmd_kv(args: argparse.Namespace) -> int:
             "marker into the fingerprint)"
         )
     print(f"  fingerprint {result.fingerprint:#010x} (bit-identical at any --workers)")
+    elasticity = result.elasticity
+    if elasticity is not None:
+        print(
+            f"  elasticity  arrival={args.arrival} "
+            f"slo p99<={args.slo_p99_ms:g}ms | modeled violations "
+            f"{elasticity['slo_violation_fraction']:.1%} | "
+            f"shed {elasticity['shed_ops']}"
+        )
+        if elasticity["enabled"]:
+            print(
+                f"  scaling     events={len(elasticity['scale_events'])} "
+                f"avg nodes={elasticity['avg_live_nodes']:.2f} | "
+                f"schedule {elasticity['schedule_fingerprint']:#010x} "
+                "(bit-identical at any --workers)"
+            )
     if durable:
         print(
             f"  durability  write-mode={args.write_mode} "
@@ -651,6 +716,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_doccheck(args: argparse.Namespace) -> int:
+    # Lazy import, same reasoning as lint.
+    from repro.devtools.doccheck import check_paths, default_doc_paths
+
+    paths = args.paths or default_doc_paths(os.getcwd())
+    if not paths:
+        raise ReproError(
+            "doccheck found no README.md or docs/*.md here; pass "
+            "markdown paths explicitly"
+        )
+    report = check_paths(paths, timeout=args.timeout)
+    print(report.render(verbose=args.verbose))
+    return report.exit_code
+
+
 def _add_plan_options(parser: argparse.ArgumentParser) -> None:
     """The SimulationPlan knobs shared by every estimating subcommand."""
     parser.add_argument(
@@ -740,7 +820,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_options(exp)
 
     kv = sub.add_parser(
-        "kv", help="drive a YCSB workload against a store or cluster"
+        "kv",
+        help="drive a YCSB workload against a store or cluster",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Elastic serving: --arrival picks a deterministic "
+            "time-varying demand signal (static, diurnal sinusoid, "
+            "flash crowd, poisson bursts; pure in (seed, tick)), and "
+            "--autoscale puts each shard's cluster fleet under the "
+            "SLO controller: sustained modeled-p99 breach adds nodes "
+            "up to --max-nodes, sustained idleness drains nodes down "
+            "to --min-nodes (hint-safe decommission), and a saturated "
+            "fleet sheds ops (reported as shed_ops, hashed as the "
+            "failed-op marker). Decisions run on a logical queue "
+            "model, not wall-clock latency, so two same-seed runs "
+            "produce identical scale schedules and op fingerprints "
+            "at any --workers count. --arrival without --autoscale "
+            "is monitor-only: the SLO accounting runs but the fleet "
+            "never changes size."
+        ),
     )
     kv.add_argument(
         "--workload", default="b", choices=list("abcdef"),
@@ -811,6 +909,78 @@ def build_parser() -> argparse.ArgumentParser:
         "group-commit policy (nosync: fsync only at flush; batch: "
         "adaptive group commit; sync: fsync every write); default is "
         "the in-memory store",
+    )
+    kv.add_argument(
+        "--arrival", choices=["static", "diurnal", "flash", "poisson"],
+        default="static",
+        help="time-varying demand signal driving the SLO controller "
+        "(pure in (seed, tick); see the epilog)",
+    )
+    kv.add_argument(
+        "--arrival-rate", type=float, default=2000.0, metavar="OPS",
+        help="mean offered load, in ops per logical second",
+    )
+    kv.add_argument(
+        "--arrival-period", type=int, default=None, metavar="TICKS",
+        help="diurnal: ticks per sinusoid cycle (default 2000)",
+    )
+    kv.add_argument(
+        "--arrival-amplitude", type=float, default=None,
+        help="diurnal: sinusoid amplitude in [0, 1) (default 0.6)",
+    )
+    kv.add_argument(
+        "--arrival-flash-at", type=int, default=None, metavar="TICK",
+        help="flash: tick the crowd arrives (default 1000)",
+    )
+    kv.add_argument(
+        "--arrival-flash-ticks", type=int, default=None, metavar="TICKS",
+        help="flash: how long the crowd stays (default 2000)",
+    )
+    kv.add_argument(
+        "--arrival-peak", type=float, default=None, metavar="X",
+        help="flash/poisson: demand multiplier during a surge "
+        "(default 4.0)",
+    )
+    kv.add_argument(
+        "--arrival-burst-prob", type=float, default=None, metavar="P",
+        help="poisson: per-tick burst arrival probability "
+        "(default 0.002)",
+    )
+    kv.add_argument(
+        "--arrival-burst-ticks", type=int, default=None, metavar="TICKS",
+        help="poisson: burst length (default 200)",
+    )
+    kv.add_argument(
+        "--autoscale", action="store_true",
+        help="cluster target: scale the fleet between --min-nodes and "
+        "--max-nodes against the --slo-p99-ms objective (without this "
+        "flag, --arrival runs monitor-only SLO accounting)",
+    )
+    kv.add_argument(
+        "--slo-p99-ms", type=float, default=20.0, metavar="MS",
+        help="the SLO: modeled p99 queue latency to defend",
+    )
+    kv.add_argument(
+        "--min-nodes", type=int, default=None, metavar="N",
+        help="autoscale floor (default: max(1, --replication))",
+    )
+    kv.add_argument(
+        "--max-nodes", type=int, default=8, metavar="N",
+        help="autoscale ceiling; beyond it only shedding protects "
+        "the SLO",
+    )
+    kv.add_argument(
+        "--node-capacity", type=float, default=1000.0, metavar="OPS",
+        help="queue model: ops per logical second one node serves",
+    )
+    kv.add_argument(
+        "--scale-check-every", type=int, default=200, metavar="TICKS",
+        help="controller checkpoint period, in logical op ticks",
+    )
+    kv.add_argument(
+        "--shed-after-ms", type=float, default=80.0, metavar="MS",
+        help="admission control: shed ops whose modeled queue delay "
+        "exceeds this (the saturation pressure valve)",
     )
     kv.add_argument("--algorithm", default="cluster", help="file-ID algorithm")
     kv.add_argument("--id-universe", type=int, default=1 << 64)
@@ -906,6 +1076,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
 
+    doccheck = sub.add_parser(
+        "doccheck",
+        help="smoke-run the fenced examples in README.md and docs/",
+    )
+    doccheck.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="markdown files (default: README.md + docs/*.md)",
+    )
+    doccheck.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds per block (default: REPRO_DOCCHECK_TIMEOUT or "
+        "60; a timeout is tolerated — only rot signatures fail)",
+    )
+    doccheck.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list every block, not just failures",
+    )
+
     return parser
 
 
@@ -921,6 +1115,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "report": _cmd_report,
     "lint": _cmd_lint,
+    "doccheck": _cmd_doccheck,
 }
 
 

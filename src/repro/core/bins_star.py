@@ -97,6 +97,7 @@ class BinsStarGenerator(IDGenerator):
 
     @property
     def remaining_capacity(self) -> int:
+        """IDs this instance can still mint before its schedule is exhausted."""
         if self.fallback_random:
             return self.m - self._count
         return max(self.scheduled_capacity - self._count, 0)

@@ -47,6 +47,7 @@ from repro.devtools import (  # noqa: F401  (registration side effects)
     rules_asyncio,
     rules_bounds,
     rules_determinism,
+    rules_docs,
     rules_exceptions,
 )
 
@@ -56,6 +57,7 @@ _RULE_MODULES = (
     rules_asyncio,
     rules_exceptions,
     rules_api,
+    rules_docs,
 )
 
 __all__ = [

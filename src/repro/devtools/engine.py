@@ -57,11 +57,13 @@ class Suppression:
 
     @property
     def justified(self) -> bool:
+        """True when the noqa names full rule codes and carries a reason."""
         return bool(self.reason) and all(
             len(code) > len("REPRO") for code in self.codes
         )
 
     def matches(self, finding: Finding) -> bool:
+        """True when ``finding`` sits on this line and names a listed code."""
         return finding.line == self.line and finding.rule in self.codes
 
 
@@ -77,6 +79,7 @@ class ModuleUnit:
 
     @property
     def lines(self) -> List[str]:
+        """The module source split into lines, for line-keyed rules."""
         return self.source.splitlines()
 
 
@@ -88,6 +91,7 @@ class ProjectContext:
     units: List[ModuleUnit] = field(default_factory=list)
 
     def unit_for(self, path: str) -> Optional[ModuleUnit]:
+        """The parsed unit for ``path``, or ``None`` if it was not linted."""
         for unit in self.units:
             if unit.path == path:
                 return unit
@@ -104,9 +108,11 @@ class LintReport:
 
     @property
     def exit_code(self) -> int:
+        """1 if any finding survived suppression, else 0."""
         return 1 if self.findings else 0
 
     def counts(self) -> Dict[str, int]:
+        """Surviving-finding totals per rule code."""
         counts: Dict[str, int] = {}
         for finding in self.findings:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
@@ -187,6 +193,7 @@ class LintEngine:
     # -- running ------------------------------------------------------------
 
     def lint_paths(self, paths: Iterable[str]) -> LintReport:
+        """Parse every ``.py`` file under ``paths`` and run the enabled rules."""
         units = []
         for file_path in self._collect_files(paths):
             source = file_path.read_text(encoding="utf-8")

@@ -20,6 +20,8 @@ family does not cover simply skip that family's rules.
   — everywhere (3xx only fires inside ``async def`` anyway).
 * **REPRO5xx API invariants** — everywhere; the config-dataclass and
   stats-contract targets below name the concrete classes.
+* **REPRO6xx documentation** — the library's public surface under
+  ``repro`` (tests excluded) must carry docstrings.
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ class FamilyScope:
     exclude: Tuple[str, ...] = ()
 
     def applies_to(self, path: str) -> bool:
+        """True when ``path`` matches an include and no exclude pattern."""
         posix = _posix(path)
         if not any(fnmatch(posix, pattern) for pattern in self.include):
             return False
@@ -66,7 +69,11 @@ class Policy:
     )
     #: REPRO501: dataclasses whose every public field must be consumed
     #: (attribute-read) somewhere in the linted tree.
-    config_dataclasses: Tuple[str, ...] = ("Options", "DriverConfig")
+    config_dataclasses: Tuple[str, ...] = (
+        "Options",
+        "DriverConfig",
+        "AutoscalerConfig",
+    )
     #: REPRO502: (class, methods) whose bodies must route through the
     #: stats attribute below.
     stats_contracts: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
@@ -106,5 +113,12 @@ DEFAULT_POLICY = Policy(
         FamilyScope(family="REPRO3", include=("*",)),
         FamilyScope(family="REPRO4", include=("*",)),
         FamilyScope(family="REPRO5", include=("*",)),
+        # Documentation discipline: the library's public surface (not
+        # tests, not example scripts) must stay documented.
+        FamilyScope(
+            family="REPRO6",
+            include=("*/repro/*",),
+            exclude=("*/tests/*",),
+        ),
     ),
 )

@@ -38,6 +38,7 @@ class Finding:
     message: str
 
     def location(self) -> str:
+        """``path:line:col`` — the clickable form reports print."""
         return f"{self.path}:{self.line}:{self.col}"
 
 
@@ -103,6 +104,7 @@ def all_rules() -> Tuple[Rule, ...]:
 
 
 def get_rule(code: str) -> Rule:
+    """The registered rule for ``code`` (:class:`LintError` if unknown)."""
     try:
         return _RULES[code]
     except KeyError:

@@ -41,6 +41,7 @@ def _finding_dict(finding: Finding) -> Dict[str, object]:
 
 
 def render_text(report: LintReport) -> str:
+    """One finding per line, plus a per-rule count summary footer."""
     lines: List[str] = []
     for finding in report.findings:
         lines.append(
@@ -70,6 +71,7 @@ def render_text(report: LintReport) -> str:
 
 
 def render_json(report: LintReport) -> str:
+    """The machine-readable payload, schema-versioned for CI artifacts."""
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "files_checked": report.files_checked,
@@ -87,6 +89,7 @@ _RENDERERS = {
 
 
 def render(report: LintReport, fmt: str) -> str:
+    """Render ``report`` in ``fmt`` (``text`` or ``json``)."""
     try:
         renderer = _RENDERERS[fmt]
     except KeyError:

@@ -60,6 +60,7 @@ def _public_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AST]]:
 
 @register
 class ConfigFieldConsumedRule(Rule):
+    """REPRO501: every public field of a config dataclass is consumed."""
     code = "REPRO501"
     name = "config-field-consumed"
     family = "REPRO5"
@@ -72,6 +73,7 @@ class ConfigFieldConsumedRule(Rule):
     def check_project(
         self, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Flag config-dataclass fields nothing in the tree ever reads."""
         targets = set(context.policy.config_dataclasses)
         declared: Dict[str, List[Tuple[str, str, ast.AST]]] = {}
         for unit in context.units:
@@ -112,6 +114,7 @@ class ConfigFieldConsumedRule(Rule):
 
 @register
 class StatsContractRule(Rule):
+    """REPRO502: contract methods must route through the stats attribute."""
     code = "REPRO502"
     name = "stats-contract"
     family = "REPRO5"
@@ -124,6 +127,7 @@ class StatsContractRule(Rule):
     def check_project(
         self, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Flag contract methods whose bodies never touch the stats attr."""
         contracts = dict(context.policy.stats_contracts)
         stats_attr = context.policy.stats_attribute
         for unit in context.units:

@@ -67,6 +67,7 @@ def _dotted(node: ast.AST) -> str:
 
 @register
 class BlockingInAsyncRule(Rule):
+    """REPRO301: no blocking sleep/IO calls inside ``async def`` bodies."""
     code = "REPRO301"
     name = "blocking-in-async"
     family = "REPRO3"
@@ -78,6 +79,7 @@ class BlockingInAsyncRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per blocking call inside an ``async def``."""
         for node in ast.walk(unit.tree):
             if isinstance(node, ast.AsyncFunctionDef):
                 yield from self._check_coroutine(unit, node)
@@ -124,6 +126,7 @@ class BlockingInAsyncRule(Rule):
 
 @register
 class GetEventLoopRule(Rule):
+    """REPRO302: ``get_running_loop`` beats deprecated ``get_event_loop``."""
     code = "REPRO302"
     name = "get-event-loop"
     family = "REPRO3"
@@ -135,6 +138,7 @@ class GetEventLoopRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per ``asyncio.get_event_loop()`` call."""
         for node in ast.walk(unit.tree):
             if (
                 isinstance(node, ast.Call)

@@ -77,6 +77,7 @@ def _assign_value(node: ast.stmt) -> ast.expr:
 
 @register
 class DecoderBoundsRule(Rule):
+    """REPRO201: decoders must length-check before slicing buffers."""
     code = "REPRO201"
     name = "decoder-bounds"
     family = "REPRO2"
@@ -88,6 +89,7 @@ class DecoderBoundsRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per unguarded slice in a decoder function."""
         pattern = re.compile(context.policy.decoder_function_pattern)
         for node in ast.walk(unit.tree):
             if isinstance(

@@ -48,6 +48,7 @@ def _attr_chain(node: ast.AST) -> str:
 
 @register
 class GlobalRandomRule(Rule):
+    """REPRO101: no module-level ``random.*`` in deterministic code."""
     code = "REPRO101"
     name = "global-random"
     family = "REPRO1"
@@ -63,6 +64,7 @@ class GlobalRandomRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per global-``random`` call site."""
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -84,6 +86,7 @@ class GlobalRandomRule(Rule):
 
 @register
 class BuiltinHashRule(Rule):
+    """REPRO102: builtin ``hash()`` is salted per process — banned."""
     code = "REPRO102"
     name = "builtin-hash"
     family = "REPRO1"
@@ -95,6 +98,7 @@ class BuiltinHashRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per builtin ``hash()`` call."""
         for node in ast.walk(unit.tree):
             if (
                 isinstance(node, ast.Call)
@@ -112,6 +116,7 @@ class BuiltinHashRule(Rule):
 
 @register
 class WallClockRule(Rule):
+    """REPRO103: wall-clock reads cannot feed deterministic results."""
     code = "REPRO103"
     name = "wall-clock"
     family = "REPRO1"
@@ -126,6 +131,7 @@ class WallClockRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per wall-clock call outside the allowed sinks."""
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -164,6 +170,7 @@ def _is_set_expr(node: ast.AST) -> bool:
 
 @register
 class SetIterationRule(Rule):
+    """REPRO104: no iteration over unordered sets in contract code."""
     code = "REPRO104"
     name = "set-iteration"
     family = "REPRO1"
@@ -175,6 +182,7 @@ class SetIterationRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per set-typed iteration target."""
         for node in ast.walk(unit.tree):
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 if _is_set_expr(node.iter):
@@ -216,6 +224,7 @@ class SetIterationRule(Rule):
 
 @register
 class OSEntropyRule(Rule):
+    """REPRO105: no OS entropy (``os.urandom``, ``uuid4``, ...)."""
     code = "REPRO105"
     name = "os-entropy"
     family = "REPRO1"
@@ -227,6 +236,7 @@ class OSEntropyRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per OS-entropy call site."""
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.Call):
                 continue

@@ -1,0 +1,98 @@
+"""REPRO6xx: documentation discipline.
+
+* **REPRO601** — every *public* function, method, and class in the
+  policy-scoped tree (the ``repro`` library) must carry a docstring.
+  The codebase is the reproduction artifact of a paper; an undocumented
+  public surface is where the mapping from code back to the paper (and
+  to the operator's handbook in ``docs/``) silently rots.
+
+What does **not** need a docstring:
+
+* underscore-prefixed names (private by convention, dunders included);
+* anything nested inside a function body (implementation detail — the
+  enclosing def owns the documentation);
+* members of private classes;
+* ``@overload`` stubs (the implementation def documents the API) and
+  ``@x.setter`` / ``@x.deleter`` bodies (the getter owns the
+  property's docstring).
+
+Genuinely self-evident survivors can be suppressed inline, with a
+justification, like every other rule::
+
+    def size(self) -> int:  # noqa: REPRO601 -- the name is the doc
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.devtools.engine import ModuleUnit, ProjectContext
+from repro.devtools.registry import Finding, Rule, register
+
+_DefNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Decorator attribute names whose defs share another def's docstring.
+_EXEMPT_ATTRS = frozenset({"setter", "deleter", "getter"})
+
+
+def _is_exempt(node: _DefNode) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "overload":
+            return True
+        if isinstance(target, ast.Attribute):
+            if target.attr == "overload":  # typing.overload
+                return True
+            if target.attr in _EXEMPT_ATTRS:
+                return True
+    return False
+
+
+@register
+class PublicDocstringRule(Rule):
+    """The REPRO601 check; see the module docstring for the policy."""
+
+    code = "REPRO601"
+    name = "public-docstring"
+    family = "REPRO6"
+    summary = (
+        "public functions, methods, and classes must carry a "
+        "docstring (underscore-prefixed and nested defs exempt)"
+    )
+
+    def check(
+        self, unit: ModuleUnit, context: ProjectContext
+    ) -> Iterator[Finding]:
+        """Scan one module's top level and public class bodies."""
+        yield from self._scan(unit.path, unit.tree.body)
+
+    def _scan(self, path: str, body) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue  # private class: members are private too
+                if not ast.get_docstring(node):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"public class {node.name!r} has no "
+                        "docstring: say what it models and what the "
+                        "invariants are",
+                    )
+                yield from self._scan(path, node.body)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if node.name.startswith("_") or _is_exempt(node):
+                    continue
+                if not ast.get_docstring(node):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"public def {node.name!r} has no docstring: "
+                        "one line on contract and units beats none "
+                        "(or suppress with the reason it is "
+                        "self-evident)",
+                    )
+                # Nested defs are implementation detail of this one.

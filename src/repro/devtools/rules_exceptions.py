@@ -70,6 +70,7 @@ def _handler_accounts_for_failure(handler: ast.ExceptHandler) -> bool:
 
 @register
 class BroadExceptSwallowRule(Rule):
+    """REPRO401: a bare/broad except may not swallow silently."""
     code = "REPRO401"
     name = "broad-except-swallow"
     family = "REPRO4"
@@ -81,6 +82,7 @@ class BroadExceptSwallowRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per broad except handler that drops the error."""
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -124,6 +126,7 @@ def _suppress_is_broad(call: ast.Call) -> bool:
 
 @register
 class BroadSuppressRule(Rule):
+    """REPRO402: ``suppress(Exception)`` only in cleanup-named defs."""
     code = "REPRO402"
     name = "broad-suppress"
     family = "REPRO4"
@@ -135,6 +138,7 @@ class BroadSuppressRule(Rule):
     def check(
         self, unit: ModuleUnit, context: ProjectContext
     ) -> Iterator[Finding]:
+        """Yield a finding per broad ``contextlib.suppress`` misuse."""
         cleanup = re.compile(context.policy.cleanup_function_pattern)
         flagged: List[Tuple[ast.Call, Optional[str]]] = []
 

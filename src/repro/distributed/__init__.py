@@ -7,6 +7,9 @@ fault-injection API (``kill``/``recover``) for chaos experiments.
 Since PR 6 it also serves over real sockets: ``uuidp serve`` exposes
 any target behind the framed asyncio RPC layer of
 :mod:`repro.distributed.protocol` / :mod:`repro.distributed.rpc`.
+The fleet is also elastic: :mod:`repro.distributed.autoscaler` scales
+membership up and down (``add_node``/``decommission``) against an SLO
+under deterministic time-varying demand.
 """
 
 from repro.distributed.cluster import (
@@ -14,6 +17,16 @@ from repro.distributed.cluster import (
     ClusterSimulator,
     decode_envelope,
     encode_envelope,
+)
+
+# Must come after the cluster import: the autoscaler pulls in
+# repro.workloads.demand, whose package __init__ imports the driver,
+# which needs repro.distributed.cluster already in sys.modules.
+from repro.distributed.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    ScaleEvent,
+    summarize_shards,
 )
 from repro.distributed.migration import (
     MigrationEvent,
@@ -40,6 +53,10 @@ __all__ = [
     "HashRing",
     "ClusterSimulator",
     "ClusterReport",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScaleEvent",
+    "summarize_shards",
     "ClientPool",
     "MigrationEvent",
     "NetworkTarget",

@@ -303,6 +303,7 @@ class ClusterSimulator:
         return self.preference_nodes(key)[0]
 
     def live_nodes(self) -> List[Node]:
+        """The nodes currently alive, in declaration order."""
         return [node for node in self.nodes if node.alive]
 
     # -- replicated data path ----------------------------------------------
@@ -323,6 +324,7 @@ class ClusterSimulator:
             )
 
     def put(self, key: bytes, value: bytes) -> None:
+        """Quorum-replicated LWW write of ``value`` under ``key``."""
         self._operations += 1
         self._quorum_write(
             key, encode_envelope(self._next_version(), _FLAG_VALUE, value)
@@ -342,6 +344,7 @@ class ClusterSimulator:
         )
 
     def get(self, key: bytes) -> Optional[bytes]:
+        """Quorum read with LWW resolution; ``None`` if absent or deleted."""
         self._operations += 1
         replicas = self.preference_nodes(key)
         live = [node for node in replicas if node.alive]
@@ -700,6 +703,73 @@ class ClusterSimulator:
         self.ring.add_node(node.name)
         self.repair_replicas()
         return node
+
+    def decommission(self, node: Union[Node, str, int]) -> Node:
+        """Retire a live node from the ring with a hint-safe drain.
+
+        The inverse of :meth:`add_node`, used by the autoscaler's
+        scale-down path (:mod:`repro.distributed.autoscaler`). The
+        drain sequence keeps every acked write readable throughout:
+
+        1. **Membership first** — the node leaves the ring, so new
+           writes route around it and its arcs fall to ring
+           successors.
+        2. **Hint safety** — any hinted-handoff envelopes queued *for*
+           the leaver are re-homed through the keys' current
+           preference lists instead of retiring with it (written to
+           live owners under the LWW guard, or re-queued as hints for
+           owners that are currently down).
+        3. **Drain** — :meth:`repair_replicas` runs while the leaver
+           is still readable, copying its rows to their new owners.
+        4. **Retire** — only then is the node marked dead, so quorum
+           paths, scans, and the balancer skip it for good.
+
+        Refuses to shrink below ``replication_factor`` live nodes and
+        records a ``("decommission", name, ops)`` fault event.
+        """
+        if self.ring is None:
+            raise ConfigurationError(
+                "decommission requires routing='ring' (the modulo "
+                "shim remaps nearly every key on membership change)"
+            )
+        target = self._resolve(node)
+        if not target.alive:
+            raise ConfigurationError(
+                f"{target.name} is dead; decommission drains a live "
+                "node (recover it first, or leave it to hinted handoff)"
+            )
+        remaining = len(self.live_nodes()) - 1
+        if remaining < self.replication_factor:
+            raise ConfigurationError(
+                f"decommissioning {target.name} would leave "
+                f"{remaining} live node(s), fewer than "
+                f"replication_factor={self.replication_factor}"
+            )
+        self.ring.remove_node(target.name)
+        for key, envelope in self._hints.pop(target.name, {}).items():
+            version = decode_envelope(envelope)[0]
+            for owner in self.preference_nodes(key):
+                if owner.alive:
+                    current = owner.get(key)
+                    if (
+                        current is None
+                        or self._decode(current)[0] < version
+                    ):
+                        owner.put(key, envelope)
+                else:
+                    queue = self._hints.setdefault(owner.name, {})
+                    queued = queue.get(key)
+                    if (
+                        queued is None
+                        or decode_envelope(queued)[0] < version
+                    ):
+                        queue[key] = envelope
+        self.repair_replicas()
+        target.alive = False
+        self.fault_events.append(
+            ("decommission", target.name, self._operations)
+        )
+        return target
 
     def flush_all(self) -> None:
         """Flush every node's memtable (dead nodes included — their

@@ -162,6 +162,7 @@ class UniquenessAudit:
 
     @property
     def collided(self) -> bool:
+        """True when any file id was assigned to more than one owner."""
         return bool(self.duplicates)
 
     @property

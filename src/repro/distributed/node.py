@@ -95,12 +95,15 @@ class Node:
     # -- data path ----------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
+        """Write straight into this node's local store."""
         self.db.put(key, value)
 
     def get(self, key: bytes):
+        """Point lookup in this node's local store (``None`` if absent)."""
         return self.db.get(key)
 
     def delete(self, key: bytes) -> None:
+        """Delete from this node's local store."""
         self.db.delete(key)
 
     def scan(
@@ -110,6 +113,7 @@ class Node:
         limit: Optional[int] = None,
         include_tombstones: bool = False,
     ) -> List[Tuple[bytes, bytes]]:
+        """Ordered range scan of this node's local store."""
         return self.db.scan(start, end, limit, include_tombstones)
 
     # -- migration ----------------------------------------------------------

@@ -172,6 +172,7 @@ def encode_attach(shard: int, shard_seed: int) -> bytes:
 
 
 def decode_attach(body: bytes) -> Tuple[int, int]:
+    """Decode an ATTACH body back into ``(shard, shard_seed)``."""
     if len(body) != 12:
         raise RPCProtocolError(
             f"ATTACH body must be 12 bytes (shard:u32 | seed:u64), "
@@ -181,10 +182,12 @@ def decode_attach(body: bytes) -> Tuple[int, int]:
 
 
 def encode_node(node: int) -> bytes:
+    """Encode a node index for KILL/RECOVER frames (u32, big-endian)."""
     return _check_u32(node, "node index").to_bytes(4, "big")
 
 
 def decode_node(body: bytes) -> int:
+    """Decode a node index from a KILL/RECOVER frame body."""
     if len(body) != 4:
         raise RPCProtocolError(
             f"KILL/RECOVER body must be 4 bytes (node:u32), got {len(body)}"

@@ -98,6 +98,7 @@ class HashRing:
 
     @property
     def members(self) -> List[str]:
+        """Member names, sorted for presentation."""
         return sorted(self._members)
 
     def __len__(self) -> int:

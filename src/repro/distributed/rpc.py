@@ -173,6 +173,7 @@ class RPCServer:
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start listening (port 0 picks a free port)."""
         self._server = await asyncio.start_server(self._handle, host, port)
 
     @property
@@ -183,11 +184,13 @@ class RPCServer:
         return self._server.sockets[0].getsockname()[:2]
 
     async def serve_forever(self) -> None:
+        """Serve until cancelled; requires :meth:`start` first."""
         if self._server is None:
             raise RPCError("call start() first")
         await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        """Stop listening and close every open client connection."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -469,6 +472,7 @@ class RPCClient:
     # -- API ----------------------------------------------------------------
 
     async def attach(self, shard: int, shard_seed: int) -> None:
+        """Bind this connection to a driver shard and its derived seed."""
         await self._call_raw(OP_ATTACH, encode_attach(shard, shard_seed))
 
     async def call(self, op: str, key: bytes, value: bytes) -> bytes:
@@ -479,15 +483,19 @@ class RPCClient:
         return await self._call_raw(code, encode_kv(key, value))
 
     async def kill(self, node: int) -> None:
+        """Inject a node outage on the remote cluster."""
         await self._call_raw(OP_KILL, encode_node(node))
 
     async def recover(self, node: int) -> None:
+        """Recover a previously killed remote node."""
         await self._call_raw(OP_RECOVER, encode_node(node))
 
     async def report(self) -> Dict[str, Any]:
+        """Flush the remote target and fetch its report dict."""
         return json.loads(await self._call_raw(OP_REPORT, b""))
 
     async def aclose(self) -> None:
+        """Cancel the reader task and close the connection."""
         self._read_task.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await self._read_task
@@ -527,6 +535,7 @@ class ClientPool:
         self._next = itertools.count()
 
     async def start(self) -> "ClientPool":
+        """Connect and attach all ``size`` clients; returns ``self``."""
         for index in range(self.size):
             client = await RPCClient.connect(
                 self.host, self.port, **self._client_kwargs
@@ -536,14 +545,17 @@ class ClientPool:
         return self
 
     def client(self) -> RPCClient:
+        """The next pooled client, round-robin."""
         if not self._clients:
             raise RPCError("pool not started")
         return self._clients[next(self._next) % len(self._clients)]
 
     async def call(self, op: str, key: bytes, value: bytes) -> bytes:
+        """Execute one logical op on the next round-robin client."""
         return await self.client().call(op, key, value)
 
     async def aclose(self) -> None:
+        """Close every pooled client connection."""
         for client in self._clients:
             await client.aclose()
         self._clients.clear()
@@ -627,6 +639,7 @@ class NetworkTarget:
 
     # Chaos injection through the RPC boundary (driver tick() hooks).
     def kill(self, node: int, mode: str = "outage") -> None:
+        """Inject a remote node outage (the only network chaos mode)."""
         if mode != "outage":
             raise ConfigurationError(
                 f"network targets only support kill(mode='outage'); "
@@ -636,6 +649,7 @@ class NetworkTarget:
         self._loop.run(self._client.kill(node))
 
     def recover(self, node: int) -> None:
+        """Recover a remote node killed through this target."""
         self._loop.run(self._client.recover(node))
 
     def collect_report(self) -> Dict[str, Any]:
@@ -643,6 +657,7 @@ class NetworkTarget:
         return self._loop.run(self._client.report())
 
     def close(self) -> None:
+        """Close the RPC client and stop the private event loop."""
         with contextlib.suppress(Exception):
             self._loop.run(self._client.aclose())
         self._loop.stop()
@@ -732,6 +747,7 @@ class ServerThread:
         )
 
     def stop(self) -> None:
+        """Shut the in-process server down and stop its event loop."""
         with contextlib.suppress(Exception):
             self._loop.run(self.server.aclose())
         self._loop.stop()

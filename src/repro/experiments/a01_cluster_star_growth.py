@@ -96,6 +96,7 @@ def _instance_costs(
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run ablation A1 (Cluster* run-growth factor); returns its ExperimentResult."""
     m = 1 << 20
     n = 8
     d = 1024

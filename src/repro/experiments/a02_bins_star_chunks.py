@@ -33,6 +33,7 @@ CLAIM = (
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run ablation A2 (Bins* chunk count); returns its ExperimentResult."""
     m = 1 << 16
     c_paper = chunk_count(m)
     c_values = (

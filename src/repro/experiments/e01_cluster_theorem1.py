@@ -45,6 +45,7 @@ def _profiles(m: int, quick: bool):
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E1 (Theorem 1, Cluster collision bound); returns its ExperimentResult."""
     m = 1 << 24
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

@@ -31,6 +31,7 @@ CLAIM = (
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E2 (Theorem 2, Bins(k) collision bound); returns its ExperimentResult."""
     m = 1 << 20
     rng = random.Random(0xE2)
     profiles = [

@@ -24,6 +24,7 @@ CLAIM = "p_Random(D) = Θ(min(1, (‖D‖₁²−‖D‖₂²)/m)) — the birth
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E3 (Corollary 3, Random baseline); returns its ExperimentResult."""
     m = 1 << 24
     rng = random.Random(0xE3)
     n_values = [2, 8] if config.quick else [2, 4, 8, 32]

@@ -43,6 +43,7 @@ def _failure_scale(ds: List[int], ps: List[float]) -> Optional[int]:
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E4 (Corollaries 4/5, strategy ordering); returns its ExperimentResult."""
     m = 1 << 20
     n = 16
     exponents = range(5, 19, 2) if config.quick else range(5, 19)

@@ -43,6 +43,7 @@ EPSILON = 0.25
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E5 (Theorem 6, Cluster worst-case optimality); returns its ExperimentResult."""
     m = 1 << 20
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,

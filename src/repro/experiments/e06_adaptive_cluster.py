@@ -28,6 +28,7 @@ CLAIM = "p_Cluster(Z) = Ω(min(1, n²d/m)) for the closest-pair adversary Z"
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E6 (Lemma 7, adaptive inflation of Cluster); returns its ExperimentResult."""
     m = 1 << 20
     d = 1024
     n_values = [4, 8, 16] if config.quick else [4, 8, 16, 32]

@@ -43,6 +43,7 @@ ATTACKS = {
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E7 (Theorem 8, Cluster* under adaptivity); returns its ExperimentResult."""
     m = 1 << 20
     d = 1024
     n_values = [4, 16] if config.quick else [4, 8, 16, 32]

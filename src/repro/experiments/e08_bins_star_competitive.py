@@ -52,6 +52,7 @@ def _worst_ratios(m: int, max_exponent: int) -> Dict[str, float]:
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E8 (Theorem 9, Bins* competitive ratio); returns its ExperimentResult."""
     m = 1 << 16
     max_exponent = 8 if config.quick else 11
     result = ExperimentResult(

@@ -57,6 +57,7 @@ def _p_star_upper(m: int, profile: DemandProfile) -> Fraction:
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E9 (Theorem 10, the phi lower bound); returns its ExperimentResult."""
     m_values = (
         [1 << 10, 1 << 14] if config.quick else [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
     )

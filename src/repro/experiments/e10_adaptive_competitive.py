@@ -103,6 +103,7 @@ def _prefix_profiles(sequence: DemandSequence, samples: int):
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E10 (Theorem 11, adaptivity cost of Bins*); returns its ExperimentResult."""
     m = 1 << 14
     trials = config.trials(800)
     algorithms: List[

@@ -105,6 +105,7 @@ def _run_fleet(
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E11 (the end-to-end KV collision demo); returns its ExperimentResult."""
     m = 1 << 13
     nodes = 6
     spec = WorkloadSpec(

@@ -163,6 +163,7 @@ def _competitive_adaptive(name: str, config: ExperimentConfig) -> float:
 
 
 def run(config: ExperimentConfig) -> ExperimentResult:
+    """Run E12 (the all-settings summary table); returns its ExperimentResult."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,

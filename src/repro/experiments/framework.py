@@ -98,9 +98,11 @@ class ExperimentResult:
 
     @property
     def all_passed(self) -> bool:
+        """True when every recorded check passed."""
         return all(check.passed for check in self.checks)
 
     def add_check(self, name: str, passed: bool, detail: str) -> None:
+        """Record one named pass/fail check with its detail string."""
         self.checks.append(Check(name, passed, detail))
 
     def check_ratio_band(

@@ -38,10 +38,12 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total cache probes (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of probes served from cache (0.0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 

@@ -35,6 +35,7 @@ class CompactionJob:
 
     @property
     def output_level(self) -> int:
+        """The level compacted output files land in (``level + 1``)."""
         return self.level + 1
 
 

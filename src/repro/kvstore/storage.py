@@ -226,6 +226,7 @@ class SimulatedStorage:
         return bytes(self._require(name).data)
 
     def exists(self, name: str) -> bool:
+        """True when ``name`` exists in this storage."""
         self._check_live()
         return name in self._files
 
@@ -235,6 +236,7 @@ class SimulatedStorage:
         return sorted(n for n in self._files if n.startswith(prefix))
 
     def size(self, name: str) -> int:
+        """Current size of ``name`` in bytes."""
         self._check_live()
         return len(self._require(name).data)
 
@@ -245,6 +247,7 @@ class SimulatedStorage:
         return len(handle.data) - handle.synced
 
     def total_unsynced(self, names: Optional[Iterable[str]] = None) -> int:
+        """Crash-vulnerable bytes summed over ``names`` (default: all files)."""
         self._check_live()
         targets = self.list() if names is None else names
         return sum(self.unsynced_bytes(name) for name in targets)

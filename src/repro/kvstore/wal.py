@@ -149,6 +149,7 @@ def decode_record_at(
 
 
 def segment_name(index: int) -> str:
+    """The on-disk name of segment ``index`` (zero-padded, sortable)."""
     return f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}"
 
 
@@ -322,9 +323,11 @@ class DurableWAL:
         return seqno
 
     def append_put(self, key: bytes, value: bytes) -> int:
+        """Append a PUT record; returns its sequence number."""
         return self.append(OP_PUT, key, value)
 
     def append_delete(self, key: bytes) -> int:
+        """Append a DELETE record; returns its sequence number."""
         return self.append(OP_DELETE, key, b"")
 
     def sync(self) -> None:
@@ -414,6 +417,7 @@ class WALRecovery:
 
     @property
     def last_seqno(self) -> int:
+        """Sequence number of the last recovered record (0 if none)."""
         return self.records[-1][0] if self.records else 0
 
 

@@ -211,6 +211,7 @@ class RoundResult:
 
     @property
     def trials(self) -> int:
+        """Trials this slice covers (``stop - start``)."""
         return self.stop - self.start
 
 
@@ -253,6 +254,7 @@ class EngineRegistry:
         return engine
 
     def get(self, name: str) -> Engine:
+        """The engine registered as ``name``; ConfigurationError if unknown."""
         self._ensure_builtin_engines()
         try:
             return self._engines[name]
@@ -263,6 +265,7 @@ class EngineRegistry:
             ) from None
 
     def names(self) -> Tuple[str, ...]:
+        """Registered engine names, in registration order."""
         self._ensure_builtin_engines()
         return tuple(self._engines)
 

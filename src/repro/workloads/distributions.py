@@ -66,6 +66,7 @@ class KeyPicker:
     """Interface: pick an integer key index in ``[0, n)``."""
 
     def pick(self, rng: random.Random) -> int:
+        """Draw one key index in ``[0, n)`` using ``rng``."""
         raise NotImplementedError
 
 
@@ -78,6 +79,7 @@ class UniformPicker(KeyPicker):
         self.n = n
 
     def pick(self, rng: random.Random) -> int:
+        """Uniform draw over ``[0, n)``."""
         return rng.randrange(self.n)
 
 
@@ -105,6 +107,7 @@ class ZipfianPicker(KeyPicker):
         self._cdf = [c / total for c in cdf]
 
     def pick(self, rng: random.Random) -> int:
+        """Exact Zipfian draw via binary search on the inverse CDF."""
         return bisect.bisect_left(self._cdf, rng.random())
 
 
@@ -143,6 +146,7 @@ class ZipfianApproxPicker(KeyPicker):
             self._eta = 0.0
 
     def pick(self, rng: random.Random) -> int:
+        """Constant-time approximate Zipfian draw (one uniform sample)."""
         u = rng.random()
         uz = u * self._zetan
         if uz < 1.0:
@@ -183,6 +187,7 @@ class ScrambledZipfianPicker(KeyPicker):
         self.n = n
 
     def pick(self, rng: random.Random) -> int:
+        """Zipfian popularity rank, hashed onto the key space."""
         rank = self._zipf.pick(rng)
         digest = hashlib.blake2b(
             rank.to_bytes(8, "little"), digest_size=8
@@ -229,6 +234,7 @@ class LatestPicker(KeyPicker):
         return self._cdf
 
     def pick(self, rng: random.Random) -> int:
+        """Recency-skewed draw over the keys inserted so far."""
         window = min(self.insert_count, self.WINDOW_CAP)
         cdf = self._cdf_for(window)
         target = rng.random() * cdf[window - 1]

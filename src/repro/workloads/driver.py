@@ -18,6 +18,13 @@ stream and per-op outcomes are pure functions of ``(seed, shard)``.
 fingerprints, op counts, and every per-op outcome are **bit-identical
 at any** ``workers=`` **count**; only wall-clock metrics (ops/s,
 latency percentiles) vary run to run.
+
+Elastic runs extend the same contract: with
+``DriverConfig.autoscaler`` set, each shard's fleet scales up/down and
+sheds load under an :class:`~repro.distributed.autoscaler.Autoscaler`
+driven by a deterministic arrival process
+(:class:`~repro.workloads.demand.ArrivalProcess`) — scale-event
+schedules and shed decisions are pure in ``(seed, tick)`` too.
 """
 
 from __future__ import annotations
@@ -27,7 +34,15 @@ import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.distributed.cluster import ClusterSimulator
 from repro.errors import (
@@ -39,6 +54,9 @@ from repro.kvstore.db import MiniRocks
 from repro.kvstore.options import Options
 from repro.simulation.seeds import derive_seed
 from repro.workloads.ycsb import WorkloadSpec, load_phase, run_phase
+
+if TYPE_CHECKING:  # runtime import is deferred (circular with driver)
+    from repro.distributed.autoscaler import AutoscalerConfig
 
 #: Seed-path labels (arbitrary, fixed constants — part of the
 #: reproducibility contract, never change them).
@@ -128,6 +146,7 @@ class LatencyHistogram:
 
     @property
     def mean_ns(self) -> float:
+        """Mean recorded latency in nanoseconds (0.0 when empty)."""
         return self.total_ns / self.count if self.count else 0.0
 
     def summary(self) -> Dict[str, float]:
@@ -254,6 +273,14 @@ class DriverConfig:
     #: ticks (applied identically to every shard's own fleet). Stored
     #: sorted by tick; same-tick events apply in the order given.
     chaos: Tuple[ChaosEvent, ...] = ()
+    #: Elastic serving: run each shard under an
+    #: :class:`~repro.distributed.autoscaler.Autoscaler` driving
+    #: time-varying demand (the config's ``arrival`` process) through
+    #: a deterministic queue model — scale/shed decisions are pure in
+    #: ``(seed, tick)``, so fingerprints and scale schedules stay
+    #: bit-identical at any ``workers=`` count. ``None`` (default)
+    #: keeps the classic statically provisioned run.
+    autoscaler: Optional["AutoscalerConfig"] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -304,6 +331,15 @@ class ShardResult:
     #: (latency-dependent — a run with any is not
     #: fingerprint-comparable to a clean run).
     timeouts: int = 0
+    #: Ops shed by autoscaler admission control: never sent to the
+    #: target, fingerprinted as :data:`FAILED_OP_OUTCOME`, and counted
+    #: here — NOT in :attr:`op_errors` (a shed is a policy decision,
+    #: not a failure). Deterministic, unlike timeouts.
+    shed_ops: int = 0
+    #: :meth:`Autoscaler.summary` payload (scale events, SLO
+    #: accounting, schedule fingerprint) when the shard ran under an
+    #: autoscaler, else ``None``.
+    elasticity: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -371,6 +407,7 @@ class DriverResult:
 
     @property
     def op_counts(self) -> Dict[str, int]:
+        """Per-op totals merged across all shards."""
         merged: Dict[str, int] = {}
         for shard in self.shard_results:
             for op, count in shard.op_counts.items():
@@ -391,6 +428,22 @@ class DriverResult:
         """RPC timeouts across shards."""
         return sum(s.timeouts for s in self.shard_results)
 
+    @property
+    def shed_ops(self) -> int:
+        """Ops shed by autoscaler admission control, across shards."""
+        return sum(s.shed_ops for s in self.shard_results)
+
+    @property
+    def elasticity(self) -> Optional[Dict[str, Any]]:
+        """Merged autoscaler payload (see
+        :func:`~repro.distributed.autoscaler.summarize_shards`), or
+        ``None`` for classic statically provisioned runs."""
+        from repro.distributed.autoscaler import summarize_shards
+
+        return summarize_shards(
+            [s.elasticity for s in self.shard_results]
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready summary (the bench artifact schema).
 
@@ -401,6 +454,11 @@ class DriverResult:
         """
         summary = self.histogram.summary()
         spec = self.config.spec
+        autoscaler = self.config.autoscaler
+        elasticity = self.elasticity
+        extra: Dict[str, Any] = {}
+        if elasticity is not None:
+            extra["elasticity"] = elasticity
         return {
             "workload": spec.workload,
             "record_count": spec.record_count,
@@ -414,6 +472,7 @@ class DriverResult:
             "op_counts": self.op_counts,
             "op_errors": self.op_errors,
             "timeouts": self.timeouts,
+            "shed_ops": self.shed_ops,
             "config": {
                 "workload": spec.workload,
                 "record_count": spec.record_count,
@@ -437,8 +496,14 @@ class DriverResult:
                     }
                     for event in self.config.chaos
                 ],
+                "autoscaler": (
+                    autoscaler.to_dict()
+                    if autoscaler is not None
+                    else None
+                ),
             },
             **summary,
+            **extra,
         }
 
 
@@ -612,6 +677,15 @@ class WorkloadDriver:
                 "chaos schedules need a fault-injectable target "
                 "(a ClusterSimulator); store targets have no kill()"
             )
+        scaler = None
+        if config.autoscaler is not None:
+            # Deferred import: autoscaler.py imports demand from this
+            # package, so a module-level import would be circular.
+            from repro.distributed.autoscaler import Autoscaler
+
+            scaler = Autoscaler(
+                target, config.autoscaler, seed=shard_seed
+            )
         op_index = 0
         chaos_index = 0
 
@@ -635,6 +709,8 @@ class WorkloadDriver:
                 else:
                     target.recover(event.node)
                 chaos_index += 1
+            if scaler is not None:
+                scaler.on_tick(op_index)
             if can_rebalance and op_index % rebalance_every == 0:
                 target.rebalance(max_moves=config.moves_per_rebalance)
 
@@ -662,7 +738,11 @@ class WorkloadDriver:
 
         # Phase 1: bulk load (unmeasured). Errors propagate — a failed
         # load means the dataset the measured phase assumes is absent.
+        # The autoscaler observes demand (warming its queue model) but
+        # never sheds a load op — the dataset must exist in full.
         for op, key, value in load_phase(spec, rng):
+            if scaler is not None:
+                scaler.observe_op(op_index + 1, "load")
             self._execute(target, op, key, value)
             tick()
         # Phases 2+3 continue one stream: warmup ops are executed and
@@ -680,13 +760,24 @@ class WorkloadDriver:
             run_phase(stream_spec, rng)
         ):
             if index < config.warmup_operations:
-                guarded_execute(op, key, value)
+                if scaler is None or scaler.observe_op(
+                    op_index + 1, "warmup"
+                ):
+                    guarded_execute(op, key, value)
                 tick()
                 continue
             if start_measure is None:
                 start_measure = time.perf_counter()
             began = time.perf_counter_ns()
-            outcome = guarded_execute(op, key, value)
+            if scaler is None or scaler.observe_op(
+                op_index + 1, "measured"
+            ):
+                outcome = guarded_execute(op, key, value)
+            else:
+                # Shed: admission control rejected the op before it
+                # reached the target. Same outcome marker as a quorum
+                # failure, but tallied as shed_ops, not op_errors.
+                outcome = FAILED_OP_OUTCOME
             histogram.record(time.perf_counter_ns() - began)
             tick()
             measured += 1
@@ -710,6 +801,10 @@ class WorkloadDriver:
             collected=collected,
             op_errors=op_errors,
             timeouts=timeouts,
+            shed_ops=scaler.shed_ops if scaler is not None else 0,
+            elasticity=(
+                scaler.summary() if scaler is not None else None
+            ),
         )
 
     # -- the run ------------------------------------------------------------

@@ -23,9 +23,13 @@ from repro.errors import LintError
 
 SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
 
-#: Virtual paths that enable each family under DEFAULT_POLICY.
-DET_PATH = "src/repro/simulation/snippet.py"   # REPRO1 (+3/4/5)
-DECODER_PATH = "src/repro/kvstore/wal.py"      # REPRO2 via */wal.py
+#: Virtual paths that enable each family under DEFAULT_POLICY. The
+#: generic fixtures live outside ``*/repro/*`` so the REPRO6 docs
+#: policy stays quiet about their (intentionally terse) snippets;
+#: DOCS_PATH opts a fixture into it.
+DET_PATH = "src/simcore/snippet.py"            # REPRO1 (+3/4/5)
+DECODER_PATH = "src/simcore/wal.py"            # REPRO2 via */wal.py
+DOCS_PATH = "src/repro/simulation/snippet.py"  # + REPRO6
 DEVTOOLS_PATH = "src/repro/devtools/snippet.py"  # REPRO1 excluded
 
 
@@ -92,6 +96,11 @@ VIOLATIONS = {
         "class MiniRocks:\n"
         "    def put(self, key, value):\n"
         "        self._memtable[key] = value\n",
+    ),
+    "REPRO601": (
+        DOCS_PATH,
+        "def remaining_capacity(state):\n"
+        "    return state.m - state.count\n",
     ),
 }
 
@@ -393,13 +402,13 @@ def test_repro501_consumed_fields_are_clean():
 
 def test_repro501_consumption_may_cross_modules():
     report = LintEngine().lint_sources({
-        "src/repro/kvstore/options_fixture.py": (
+        "src/simcore/options_fixture.py": (
             "from dataclasses import dataclass\n"
             "@dataclass\n"
             "class Options:\n"
             "    live_knob: int = 0\n"
         ),
-        "src/repro/kvstore/consumer_fixture.py": (
+        "src/simcore/consumer_fixture.py": (
             "def use(options):\n"
             "    return options.live_knob\n"
         ),
@@ -425,6 +434,82 @@ def test_repro502_stats_touch_is_clean():
         "        self.stats.puts += 1\n"
     )
     assert codes(lint_one(clean)) == []
+
+
+def test_repro601_documented_surface_is_clean():
+    clean = (
+        'def rate(seed, tick):\n'
+        '    """Offered load at ``tick``, ops per logical second."""\n'
+        '    return 1.0\n'
+        'class Controller:\n'
+        '    """Scales the fleet against the SLO."""\n'
+        '    def observe(self, tick):\n'
+        '        """Feed one arrival into the queue model."""\n'
+    )
+    assert codes(lint_one(clean, path=DOCS_PATH)) == []
+
+
+def test_repro601_flags_undocumented_class_and_method():
+    source = (
+        "class Controller:\n"
+        "    def observe(self, tick):\n"
+        "        return tick\n"
+    )
+    assert codes(lint_one(source, path=DOCS_PATH)) == [
+        "REPRO601",
+        "REPRO601",
+    ]
+
+
+def test_repro601_exemptions():
+    # Private names, nested defs, private-class members, @property
+    # setters, and @overload stubs all live outside the rule.
+    clean = (
+        "from typing import overload\n"
+        "def _helper():\n"
+        "    return 1\n"
+        "def outer():\n"
+        '    """Docstring on the public owner."""\n'
+        "    def inner():\n"
+        "        return 2\n"
+        "    return inner\n"
+        "class _Private:\n"
+        "    def member(self):\n"
+        "        return 3\n"
+        "class Knob:\n"
+        '    """A documented public class."""\n'
+        "    @property\n"
+        "    def value(self):\n"
+        '        """The knob position."""\n'
+        "        return self._value\n"
+        "    @value.setter\n"
+        "    def value(self, new):\n"
+        "        self._value = new\n"
+        "@overload\n"
+        "def convert(x: int) -> int: ...\n"
+        "def convert(x):\n"
+        '    """Identity, typed per overload."""\n'
+        "    return x\n"
+    )
+    assert codes(lint_one(clean, path=DOCS_PATH)) == []
+
+
+def test_repro601_quiet_outside_library_paths():
+    source = "def undocumented():\n    return 1\n"
+    assert codes(lint_one(source, path=DET_PATH)) == []
+    assert codes(
+        lint_one(source, path="tests/test_fixture.py")
+    ) == []
+
+
+def test_repro601_suppressible_with_justification():
+    source = (
+        "def size(store):  # noqa: REPRO601 -- the name is the doc\n"
+        "    return len(store)\n"
+    )
+    report = lint_one(source, path=DOCS_PATH)
+    assert codes(report) == []
+    assert [f.rule for f in report.suppressed] == ["REPRO601"]
 
 
 # -- suppressions ------------------------------------------------------------
@@ -537,13 +622,16 @@ def test_registry_unknown_code():
 
 def test_policy_families_for_paths():
     families = DEFAULT_POLICY.families_for("src/repro/kvstore/wal.py")
-    assert {"REPRO0", "REPRO1", "REPRO2"} <= families
+    assert {"REPRO0", "REPRO1", "REPRO2", "REPRO6"} <= families
     nondecoder = DEFAULT_POLICY.families_for("src/repro/kvstore/db.py")
     assert "REPRO2" not in nondecoder
     devtools = DEFAULT_POLICY.families_for(
         "src/repro/devtools/engine.py"
     )
     assert "REPRO1" not in devtools
+    assert "REPRO6" in devtools  # the linter documents itself too
+    tests = DEFAULT_POLICY.families_for("src/repro/tests/test_x.py")
+    assert "REPRO6" not in tests
 
 
 def test_custom_policy_scopes():
